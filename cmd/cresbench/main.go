@@ -1,0 +1,117 @@
+// Command cresbench runs the complete experiment suite (E1–E10) and
+// prints every table and series — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cresbench [-seed 7] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cres"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "simulation seed")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast run")
+	flag.Parse()
+	if err := run(*seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "cresbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, quick bool) error {
+	fmt.Println("CRES experiment suite — reproduction of Siddiqui, Hagan & Sezer, IEEE SOCC 2019")
+	fmt.Println()
+
+	// E2 then E1: the figure gives the framework context for the table.
+	e2 := cres.RunE2Figure1()
+	fmt.Println(e2.Rendered)
+	fmt.Println(e2.Association.Render())
+
+	e1 := cres.RunE1TableI()
+	fmt.Println(e1.Table.Render())
+	fmt.Println(e1.CoverageTable.Render())
+	fmt.Printf("Derived research gaps: %v\n\n", e1.Gaps)
+
+	e3, err := cres.RunE3DetectionMatrix(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e3.Table.Render())
+
+	e3b, err := cres.RunE3bDetectionAblation(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e3b.Table.Render())
+
+	e4, err := cres.RunE4EvidenceContinuity(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e4.Table.Render())
+
+	window := 600 * time.Millisecond
+	if quick {
+		window = 300 * time.Millisecond
+	}
+	e5, err := cres.RunE5GracefulDegradation(seed, window)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e5.Table.Render())
+
+	e6, err := cres.RunE6Recovery(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e6.Table.Render())
+
+	e7, err := cres.RunE7Rollback(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e7.Table.Render())
+
+	sizes := []int{4, 16, 64, 256}
+	if quick {
+		sizes = []int{4, 16, 64}
+	}
+	e8, err := cres.RunE8FleetAttestation(sizes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e8.Table.Render())
+	fmt.Println(e8.Series.Render())
+
+	txs := 200_000
+	if quick {
+		txs = 50_000
+	}
+	e9, err := cres.RunE9MonitorOverhead(txs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e9.Table.Render())
+
+	e10, err := cres.RunE10CovertChannel(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e10.Table.Render())
+	fmt.Println(e10.Series.Render())
+
+	e11, err := cres.RunE11PointerAuth(seed, 500)
+	if err != nil {
+		return err
+	}
+	fmt.Println(e11.Table.Render())
+
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	if err := run(7, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run(true, "", false, "cres", 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleScenarioCRES(t *testing.T) {
+	if err := run(false, "secure-probe", false, "cres", 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleScenarioBaseline(t *testing.T) {
+	if err := run(false, "secure-probe", false, "baseline", 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run(false, "nope", false, "cres", 7); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestUnknownArchitecture(t *testing.T) {
+	if err := run(false, "secure-probe", false, "riscv", 7); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+}

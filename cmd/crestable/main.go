@@ -1,0 +1,44 @@
+// Command crestable regenerates the paper's two exhibits from the
+// machine-readable landscape model: Table I (the requirement/landscape
+// mapping with the derived respond/recover gap) and Figure 1 (the core
+// security functions, principles and activities of NIST RMF, NIST CSF
+// and NCSC NIS).
+//
+// Usage:
+//
+//	crestable [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cres"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+	if err := run(*csv); err != nil {
+		fmt.Fprintln(os.Stderr, "crestable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csv bool) error {
+	e2 := cres.RunE2Figure1()
+	fmt.Println(e2.Rendered)
+	e1 := cres.RunE1TableI()
+	if csv {
+		fmt.Println(e1.Table.CSV())
+		fmt.Println(e1.CoverageTable.CSV())
+		fmt.Println(e2.Association.CSV())
+		return nil
+	}
+	fmt.Println(e1.Table.Render())
+	fmt.Println(e1.CoverageTable.Render())
+	fmt.Println(e2.Association.Render())
+	fmt.Printf("Derived research gaps (requirements with no existing method): %v\n", e1.Gaps)
+	return nil
+}

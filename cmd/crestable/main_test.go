@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunText(t *testing.T) {
+	if err := run(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run(true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,516 @@
+// Package cres is the public API of the Cyber Resilient Embedded System
+// reference implementation — a Go reproduction of Siddiqui, Hagan &
+// Sezer, "Establishing Cyber Resilience in Embedded Systems for Securing
+// Next-Generation Critical Infrastructure" (IEEE SOCC 2019).
+//
+// A Device assembles the full platform on a deterministic simulator: the
+// SoC hardware model, TPM root of trust, secure+measured boot chain, TEE,
+// bus-level security policy and — in the CRES architecture — the paper's
+// three proposed microarchitectural characteristics: the Active Runtime
+// Resource Monitors, the physically isolated System Security Manager, and
+// the Active Response Manager with graceful degradation. The Baseline
+// architecture assembles the same platform WITHOUT those three, matching
+// the passive trust-only posture the paper critiques.
+//
+// Typical use:
+//
+//	dev, err := cres.NewDevice("substation-7", cres.WithSeed(42))
+//	...
+//	rep, err := dev.Boot()
+//	dev.RunFor(50 * time.Millisecond)
+//	err = cres.Launch(dev, attack.CodeInjection{})
+//	dev.RunFor(50 * time.Millisecond)
+//	fmt.Println(dev.ForensicReport(0, dev.Now()).Render())
+package cres
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cres/internal/attack"
+	"cres/internal/baseline"
+	"cres/internal/boot"
+	"cres/internal/core"
+	"cres/internal/cryptoutil"
+	"cres/internal/evidence"
+	"cres/internal/hw"
+	"cres/internal/m2m"
+	"cres/internal/monitor"
+	"cres/internal/policy"
+	"cres/internal/recovery"
+	"cres/internal/response"
+	"cres/internal/sim"
+	"cres/internal/tee"
+	"cres/internal/tpm"
+)
+
+// Architecture selects the security architecture of a Device.
+type Architecture uint8
+
+// Architectures.
+const (
+	// ArchCRES is the paper's proposal: isolated SSM core, active
+	// runtime resource monitors, active response manager.
+	ArchCRES Architecture = iota + 1
+	// ArchBaseline is the existing passive trust-only posture: secure
+	// boot + TEE + watchdog, reboot as the only response.
+	ArchBaseline
+)
+
+// String implements fmt.Stringer.
+func (a Architecture) String() string {
+	switch a {
+	case ArchCRES:
+		return "cres"
+	case ArchBaseline:
+		return "baseline"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// DetectionMode selects which detection methods the monitors run — the
+// E3b ablation comparing signature-based, anomaly-based and combined
+// detection (the two DETECT method families of Table I).
+type DetectionMode uint8
+
+// Detection modes.
+const (
+	// DetectCombined runs both signature and statistical detection
+	// (the default, and the paper's position).
+	DetectCombined DetectionMode = iota + 1
+	// DetectSignatureOnly disables the statistical detectors.
+	DetectSignatureOnly
+	// DetectAnomalyOnly disables the signature detectors.
+	DetectAnomalyOnly
+)
+
+// String implements fmt.Stringer.
+func (m DetectionMode) String() string {
+	switch m {
+	case DetectCombined:
+		return "combined"
+	case DetectSignatureOnly:
+		return "signature-only"
+	case DetectAnomalyOnly:
+		return "anomaly-only"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// config collects device construction options.
+type config struct {
+	detectMode    DetectionMode
+	seed          int64
+	engine        *sim.Engine
+	arch          Architecture
+	network       *m2m.Network
+	services      []response.Service
+	cfg           monitor.CFG
+	fwVersion     uint64
+	fwPayload     []byte
+	vendor        *cryptoutil.KeyPair
+	bootOpts      boot.Options
+	teeCfg        tee.Config
+	monitorWindow time.Duration
+	obsPeriod     time.Duration
+	rebootTime    time.Duration
+}
+
+// Option configures NewDevice.
+type Option func(*config)
+
+// WithSeed sets the simulation seed (default 1). Ignored when an engine
+// is shared via WithEngine.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithEngine shares an existing simulation engine (required to co-
+// simulate several devices or a device plus a fleet verifier).
+func WithEngine(e *sim.Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithArchitecture selects CRES (default) or Baseline.
+func WithArchitecture(a Architecture) Option { return func(c *config) { c.arch = a } }
+
+// WithNetwork attaches the device to an M2M network; its endpoint name
+// is the device name.
+func WithNetwork(n *m2m.Network) Option { return func(c *config) { c.network = n } }
+
+// WithServices declares the device's services for graceful degradation.
+func WithServices(s []response.Service) Option { return func(c *config) { c.services = s } }
+
+// WithCFG sets the application's control-flow graph for the CFI monitor.
+func WithCFG(g monitor.CFG) Option { return func(c *config) { c.cfg = g } }
+
+// WithFirmware sets the initial firmware release installed in slot A.
+func WithFirmware(version uint64, payload []byte) Option {
+	return func(c *config) { c.fwVersion, c.fwPayload = version, payload }
+}
+
+// WithVendor supplies the firmware-signing vendor key (shared across a
+// fleet). Default: a key derived from the device name.
+func WithVendor(k *cryptoutil.KeyPair) Option { return func(c *config) { c.vendor = k } }
+
+// WithBootOptions configures the boot chain (e.g. the deliberately
+// weakened variants for the attack experiments).
+func WithBootOptions(o boot.Options) Option { return func(c *config) { c.bootOpts = o } }
+
+// WithTEEConfig configures the TEE (e.g. weak trustlet rollback).
+func WithTEEConfig(t tee.Config) Option { return func(c *config) { c.teeCfg = t } }
+
+// WithMonitorWindow sets the monitors' sampling window (default 1ms).
+func WithMonitorWindow(d time.Duration) Option { return func(c *config) { c.monitorWindow = d } }
+
+// WithObservationPeriod sets the SSM evidence-sampling period (default
+// 1ms).
+func WithObservationPeriod(d time.Duration) Option { return func(c *config) { c.obsPeriod = d } }
+
+// WithRebootTime sets the baseline's reboot outage duration.
+func WithRebootTime(d time.Duration) Option { return func(c *config) { c.rebootTime = d } }
+
+// WithDetectionMode selects the monitors' detection method family
+// (default: combined signature + anomaly).
+func WithDetectionMode(m DetectionMode) Option { return func(c *config) { c.detectMode = m } }
+
+// DefaultServices returns the reference service set of a critical-
+// infrastructure field device: one critical protection function with a
+// redundant controller, and non-critical telemetry/management functions.
+func DefaultServices() []response.Service {
+	return []response.Service{
+		{Name: "protection-relay", Critical: true, Resources: []string{"app-core"}, Fallbacks: []string{"backup-controller"}},
+		{Name: "telemetry", Resources: []string{"app-core", "m2m-link"}},
+		{Name: "remote-management", Resources: []string{"m2m-link"}},
+		{Name: "local-hmi", Resources: []string{"app-core"}},
+	}
+}
+
+// DefaultCFG returns the reference application control-flow graph used
+// by the examples and experiments: a sense -> decide -> act loop with an
+// idle path.
+func DefaultCFG() monitor.CFG {
+	return monitor.CFG{
+		0: {1},    // entry
+		1: {2},    // sense
+		2: {3, 5}, // decide -> act or idle
+		3: {4},    // act
+		4: {1},    // loop
+		5: {1, 6}, // idle -> loop or shutdown
+		6: nil,    // shutdown
+	}
+}
+
+// Device is an assembled platform.
+type Device struct {
+	Name string
+	Arch Architecture
+
+	Engine *sim.Engine
+	SoC    *hw.SoC
+	TPM    *tpm.TPM
+	Chain  *boot.Chain
+	TEE    *tee.TEE
+	Policy *policy.Set
+	Vendor *cryptoutil.KeyPair
+
+	// CRES-only components (nil on baseline).
+	SSM       *core.SSM
+	Responder *response.Manager
+	BusMon    *monitor.BusMonitor
+	CFIMon    *monitor.CFIMonitor
+	TimingMon *monitor.TimingMonitor
+	EnvMon    *monitor.EnvMonitor
+	NetMon    *monitor.NetMonitor
+
+	// Baseline-only components (nil on CRES).
+	Baseline *baseline.Controller
+	PlainLog *baseline.PlainLog
+
+	// Shared runtime components.
+	Degrader *response.Degrader
+	Updater  *recovery.Updater
+	Endpoint *m2m.Endpoint
+	Network  *m2m.Network
+
+	Actuators map[string]*hw.Actuator
+
+	cfg        config
+	bootReport *boot.Report
+}
+
+// NewDevice assembles a device.
+func NewDevice(name string, opts ...Option) (*Device, error) {
+	if name == "" {
+		return nil, errors.New("cres: device needs a name")
+	}
+	c := config{seed: 1, arch: ArchCRES, fwVersion: 1, monitorWindow: time.Millisecond, obsPeriod: time.Millisecond, detectMode: DetectCombined}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.fwPayload == nil {
+		c.fwPayload = []byte("reference firmware")
+	}
+	if c.services == nil {
+		c.services = DefaultServices()
+	}
+	if c.cfg == nil {
+		c.cfg = DefaultCFG()
+	}
+
+	engine := c.engine
+	if engine == nil {
+		engine = sim.New(c.seed)
+	}
+	soc, err := hw.NewSoC(engine, hw.SoCConfig{WithSSMCore: c.arch == ArchCRES})
+	if err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
+	}
+	tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte("tpm|" + name)))
+	if err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
+	}
+	vendor := c.vendor
+	if vendor == nil {
+		vendor, err = cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("vendor"), name, "", 32))
+		if err != nil {
+			return nil, fmt.Errorf("cres: %w", err)
+		}
+	}
+
+	d := &Device{
+		Name:      name,
+		Arch:      c.arch,
+		Engine:    engine,
+		SoC:       soc,
+		TPM:       tp,
+		Chain:     boot.NewChain(vendor.Public(), c.bootOpts),
+		TEE:       tee.New(engine, soc, c.teeCfg),
+		Vendor:    vendor,
+		Actuators: make(map[string]*hw.Actuator),
+		cfg:       c,
+	}
+	d.Updater = recovery.NewUpdater(soc.Mem, d.Chain, tp)
+
+	// Install the initial firmware.
+	im := boot.BuildSigned("firmware", c.fwVersion, c.fwPayload, vendor)
+	if err := boot.InstallImage(soc.Mem, boot.SlotA, im); err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
+	}
+
+	// Services / degradation tracking exists on both architectures.
+	d.Degrader, err = response.NewDegrader(c.services)
+	if err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
+	}
+
+	// Bus-level security policy (both architectures; this is the
+	// authors' companion enforcement work and predates the SSM).
+	d.Policy = policy.NewSet(name+"-policy", true)
+	if err := d.Policy.Add(policy.Rule{
+		Name: "deny-dma-to-secure", Subject: "dma*", Object: hw.RegionSecureSRAM,
+		Actions: policy.ActionAll, Effect: policy.Deny, Priority: 10,
+	}); err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
+	}
+	soc.Bus.AddGate(d.Policy.Gate(soc.Mem, nil))
+
+	// Network endpoint.
+	if c.network != nil {
+		epKey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("m2m"), name, "", 32))
+		if err != nil {
+			return nil, fmt.Errorf("cres: %w", err)
+		}
+		d.Endpoint, err = c.network.AddNode(name, epKey)
+		if err != nil {
+			return nil, fmt.Errorf("cres: %w", err)
+		}
+		d.Network = c.network
+	}
+
+	switch c.arch {
+	case ArchCRES:
+		if err := d.buildCRES(); err != nil {
+			return nil, err
+		}
+	case ArchBaseline:
+		d.PlainLog = &baseline.PlainLog{}
+		d.Baseline = baseline.NewController(engine, baseline.Config{RebootDuration: c.rebootTime}, d.PlainLog, d.Degrader)
+	default:
+		return nil, fmt.Errorf("cres: unknown architecture %v", c.arch)
+	}
+	return d, nil
+}
+
+// buildCRES wires monitors, SSM, responder and playbook.
+func (d *Device) buildCRES() error {
+	ssmKey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("ssm-anchor"), d.Name, "", 32))
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.SSM, err = core.New(d.Engine, core.Config{
+		ObservationPeriod: d.cfg.obsPeriod,
+		AnchorPeriod:      10 * d.cfg.obsPeriod,
+	}, ssmKey, nil)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.Responder = response.NewManager(d.Engine, d.SoC.Bus, d.SoC.Cache, func(a response.Action) {
+		d.SSM.Log().Append(a.At, "response-manager", evidence.KindResponse,
+			fmt.Sprintf("%s %s: %s", a.Kind, a.Target, a.Reason))
+	})
+
+	sink := d.SSM
+	w := d.cfg.monitorWindow
+	mode := d.cfg.detectMode
+	signatures := mode == DetectCombined || mode == DetectSignatureOnly
+	anomalies := mode == DetectCombined || mode == DetectAnomalyOnly
+
+	busCfg := monitor.BusConfig{
+		DisableSignatures: !signatures,
+		RateWarmup:        12,
+	}
+	if signatures {
+		busCfg.ProvisionedWorlds = map[string]hw.World{
+			d.SoC.AppCore.Name(): hw.WorldNormal,
+			d.SoC.DMA.Name():     hw.WorldNormal,
+			"tee":                hw.WorldSecure,
+			"ssm-core":           hw.WorldIsolated,
+		}
+		busCfg.Watchpoints = []monitor.Watchpoint{
+			{Region: hw.RegionSlotA, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"updater"}},
+			{Region: hw.RegionSlotB, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"updater"}},
+			{Region: hw.RegionNV, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"tee", "ssm-core"}},
+		}
+	}
+	if anomalies {
+		busCfg.RateWindow = w
+	}
+	d.BusMon, err = monitor.NewBusMonitor(d.Engine, busCfg, sink)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.SoC.Bus.Subscribe(d.BusMon)
+	d.SSM.AttachMonitor(d.BusMon)
+
+	if signatures {
+		// CFI checking is signature-based (known-good CFG).
+		d.CFIMon, err = monitor.NewCFIMonitor(d.Engine, d.cfg.cfg, sink)
+		if err != nil {
+			return fmt.Errorf("cres: %w", err)
+		}
+		d.SoC.AppCore.SubscribeExec(d.CFIMon)
+		d.SSM.AttachMonitor(d.CFIMon)
+	}
+
+	if anomalies {
+		// Cache-timing detection is statistical.
+		d.TimingMon, err = monitor.NewTimingMonitor(d.Engine, d.SoC.Cache, monitor.TimingConfig{
+			Window: w, CrossWorldPerWindow: 8,
+		}, sink)
+		if err != nil {
+			return fmt.Errorf("cres: %w", err)
+		}
+		d.SSM.AttachMonitor(d.TimingMon)
+	}
+
+	d.EnvMon, err = monitor.NewEnvMonitor(d.Engine, d.SoC.EnvSensors(), monitor.EnvConfig{
+		Window: w,
+		Bands: map[string]monitor.EnvBand{
+			"vdd-core": {MaxDeviation: 0.05},
+			"pll-main": {MaxDeviation: 40},
+			"die-temp": {MaxDeviation: 15},
+		},
+		DisableBands: !signatures,
+		DisableDrift: !anomalies,
+	}, sink)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.SSM.AttachMonitor(d.EnvMon)
+
+	if d.Endpoint != nil {
+		netCfg := monitor.NetConfig{AuthFailureEscalation: 3, DisableSignatures: !signatures}
+		if anomalies {
+			netCfg.RateWindow = w
+		}
+		d.NetMon, err = monitor.NewNetMonitor(d.Engine, netCfg, sink)
+		if err != nil {
+			return fmt.Errorf("cres: %w", err)
+		}
+		d.Endpoint.AttachMonitor(d.NetMon)
+		d.SSM.AttachMonitor(d.NetMon)
+	}
+
+	return d.installPlaybook()
+}
+
+// AddActuator registers a physical actuator with the device.
+func (d *Device) AddActuator(a *hw.Actuator) { d.Actuators[a.Name] = a }
+
+// Boot runs the secure boot chain, measures the policy, starts services
+// and records the lifecycle. On CRES the boot report lands in the
+// evidence log; on baseline, in the plain log.
+func (d *Device) Boot() (*boot.Report, error) {
+	rep, err := d.Chain.Boot(d.SoC.Mem, d.TPM)
+	d.bootReport = rep
+	if err != nil {
+		d.recordLifecycle(fmt.Sprintf("boot FAILED: %v", err))
+		return rep, err
+	}
+	if err := d.TPM.Extend(tpm.PCRPolicy, d.Policy.Digest(), "security policy "+d.Policy.Name()); err != nil {
+		return rep, fmt.Errorf("cres: measure policy: %w", err)
+	}
+	d.Degrader.StartAll()
+	d.recordLifecycle(fmt.Sprintf("booted %s v%d from slot %s", rep.Image.Name, rep.Image.Version, rep.BootedSlot))
+	return rep, nil
+}
+
+func (d *Device) recordLifecycle(detail string) {
+	if d.SSM != nil {
+		d.SSM.RecordLifecycle(detail)
+	}
+	if d.PlainLog != nil {
+		d.PlainLog.Append(d.Engine.Now(), detail)
+	}
+}
+
+// Now returns the current virtual time.
+func (d *Device) Now() sim.VirtualTime { return d.Engine.Now() }
+
+// RunFor advances the simulation.
+func (d *Device) RunFor(dur time.Duration) { d.Engine.RunFor(dur) }
+
+// BootReport returns the last boot report.
+func (d *Device) BootReport() *boot.Report { return d.bootReport }
+
+// Target assembles the attack-injection view of the device.
+func (d *Device) Target() *attack.Target {
+	oldFW := boot.BuildSigned("firmware", 1, []byte("old vulnerable release"), d.Vendor)
+	t := &attack.Target{
+		Engine:      d.Engine,
+		SoC:         d.SoC,
+		TPM:         d.TPM,
+		TEE:         d.TEE,
+		Net:         d.Network,
+		DeviceName:  d.Name,
+		OldFirmware: oldFW,
+		SecretName:  "m2m-key",
+	}
+	return t
+}
+
+// Launch injects an attack scenario into a device.
+func Launch(d *Device, sc attack.Scenario) error {
+	tgt := d.Target()
+	return sc.Launch(tgt)
+}
+
+// ForensicReport reconstructs the evidence for a window. On a baseline
+// device it returns nil: there is no tamper-evident log to reconstruct
+// from — which is the paper's point.
+func (d *Device) ForensicReport(from, to sim.VirtualTime) *core.BreachReport {
+	if d.SSM == nil {
+		return nil
+	}
+	return core.Reconstruct(d.SSM.Log(), from, to, sim.VirtualTime(2*d.cfg.obsPeriod), d.SSM.Anchors(), d.SSM.AnchorKey())
+}

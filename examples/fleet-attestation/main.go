@@ -1,0 +1,115 @@
+// Fleet attestation: an operator-side verifier challenges a fleet of
+// field devices over the M2M network. Two devices booted tampered
+// firmware; measured boot puts the evidence in their TPM quotes and the
+// verifier catches both — including one whose network stack lies, which
+// simply times out.
+//
+//	go run ./examples/fleet-attestation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cres/internal/attest"
+	"cres/internal/cryptoutil"
+	"cres/internal/m2m"
+	"cres/internal/sim"
+	"cres/internal/tpm"
+)
+
+const fleetSize = 12
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	engine := sim.New(2026)
+	net := m2m.NewNetwork(engine, m2m.Config{Latency: 800 * time.Microsecond, Loss: 0.01})
+
+	// Known-good measurements (the golden values of this firmware
+	// release).
+	rom := cryptoutil.Sum([]byte("fleet boot rom v1"))
+	fw := cryptoutil.Sum([]byte("fleet firmware v9"))
+	pol := cryptoutil.Sum([]byte("fleet policy v2"))
+	implant := cryptoutil.Sum([]byte("bootkit implant"))
+
+	// Operator verifier.
+	vkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("op"), "verifier", "", 32))
+	if err != nil {
+		return err
+	}
+	vep, err := net.AddNode("verifier", vkey)
+	if err != nil {
+		return err
+	}
+	policy := &attest.Policy{
+		AIKs:                make(map[string]cryptoutil.PublicKey),
+		AllowedMeasurements: map[cryptoutil.Digest]bool{rom: true, fw: true, pol: true},
+	}
+	verifier := attest.NewVerifier(engine, vep, policy, func(a attest.Appraisal) {
+		fmt.Printf("  %-12s %-10s %s\n", a.Device, a.Verdict, a.Reason)
+	})
+
+	// Field devices. Device-3 boots an implant; device-7 is offline.
+	for i := 0; i < fleetSize; i++ {
+		name := fmt.Sprintf("device-%d", i)
+		dkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("dev"), name, "", 32))
+		if err != nil {
+			return err
+		}
+		dep, err := net.AddNode(name, dkey)
+		if err != nil {
+			return err
+		}
+		dep.Trust("verifier", vep.PublicKey())
+		vep.Trust(name, dep.PublicKey())
+
+		tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte(name)))
+		if err != nil {
+			return err
+		}
+		tp.Extend(tpm.PCRBootROM, rom, "boot rom")
+		if i == 3 {
+			tp.Extend(tpm.PCRFirmware, implant, "firmware (tampered)")
+		} else {
+			tp.Extend(tpm.PCRFirmware, fw, "firmware v9")
+		}
+		tp.Extend(tpm.PCRPolicy, pol, "policy v2")
+
+		if i != 7 { // device-7 never answers
+			attest.NewAttester(tp, dep)
+		}
+		policy.AIKs[name] = tp.AIKPublic()
+	}
+
+	// Challenge the whole fleet.
+	fmt.Printf("challenging %d devices...\n", fleetSize)
+	start := engine.Now()
+	for i := 0; i < fleetSize; i++ {
+		if err := verifier.Challenge(fmt.Sprintf("device-%d", i)); err != nil {
+			return err
+		}
+	}
+	engine.RunFor(100 * time.Millisecond)
+	verifier.TimeoutPending()
+
+	trusted, untrusted, timeout := 0, 0, 0
+	for _, a := range verifier.Appraisals() {
+		switch a.Verdict {
+		case attest.VerdictTrusted:
+			trusted++
+		case attest.VerdictUntrusted:
+			untrusted++
+		case attest.VerdictTimeout:
+			timeout++
+		}
+	}
+	fmt.Printf("\nfleet sweep complete in %v (virtual): %d trusted, %d untrusted, %d timeout\n",
+		engine.Now().Sub(start), trusted, untrusted, timeout)
+	return nil
+}

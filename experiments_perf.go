@@ -1,0 +1,285 @@
+package cres
+
+import (
+	"time"
+
+	"cres/internal/boot"
+	"cres/internal/cryptoutil"
+	"cres/internal/hw"
+	"cres/internal/monitor"
+	"cres/internal/report"
+	"cres/internal/sim"
+	"cres/internal/tee"
+)
+
+// This file implements experiments E9 (monitoring overhead ablation) and
+// E10 (covert channel capacity vs detection).
+
+// E9Row is one monitoring configuration's cost.
+type E9Row struct {
+	Config string
+	// WallNsPerTx is the host-CPU nanoseconds per simulated bus
+	// transaction — the simulator's proxy for the hardware area/latency
+	// cost of the monitoring path.
+	WallNsPerTx float64
+	// Alerts raised during the run (sanity signal).
+	Alerts uint64
+}
+
+// E9Result is the overhead ablation.
+type E9Result struct {
+	Rows  []E9Row
+	Table *report.Table
+}
+
+// RunE9MonitorOverhead measures bus transaction cost under four
+// configurations: no observers, a counting-only observer, the full bus
+// monitor, and the full monitor plus watchpoints and rate detection.
+// txs is the number of transactions per configuration (default 200k).
+func RunE9MonitorOverhead(txs int) (*E9Result, error) {
+	if txs <= 0 {
+		txs = 200_000
+	}
+	res := &E9Result{}
+
+	type setup struct {
+		name  string
+		build func(e *sim.Engine, soc *hw.SoC) (alerts *uint64, err error)
+	}
+	setups := []setup{
+		{"no-monitoring", func(e *sim.Engine, soc *hw.SoC) (*uint64, error) {
+			var zero uint64
+			return &zero, nil
+		}},
+		{"counting-observer", func(e *sim.Engine, soc *hw.SoC) (*uint64, error) {
+			var count uint64
+			soc.Bus.Subscribe(countingObserver{n: &count})
+			var zero uint64
+			return &zero, nil
+		}},
+		{"bus-monitor", func(e *sim.Engine, soc *hw.SoC) (*uint64, error) {
+			var alerts uint64
+			m, err := monitor.NewBusMonitor(e, monitor.BusConfig{}, monitor.SinkFunc(func(monitor.Alert) { alerts++ }))
+			if err != nil {
+				return nil, err
+			}
+			soc.Bus.Subscribe(m)
+			return &alerts, nil
+		}},
+		{"bus-monitor+watchpoints+rate", func(e *sim.Engine, soc *hw.SoC) (*uint64, error) {
+			var alerts uint64
+			m, err := monitor.NewBusMonitor(e, monitor.BusConfig{
+				ProvisionedWorlds: map[string]hw.World{"app-core": hw.WorldNormal},
+				Watchpoints: []monitor.Watchpoint{
+					{Region: hw.RegionSlotA, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"updater"}},
+					{Region: hw.RegionSlotB, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"updater"}},
+				},
+				RateWindow: time.Millisecond,
+			}, monitor.SinkFunc(func(monitor.Alert) { alerts++ }))
+			if err != nil {
+				return nil, err
+			}
+			soc.Bus.Subscribe(m)
+			return &alerts, nil
+		}},
+	}
+
+	for _, s := range setups {
+		e := sim.New(1)
+		soc, err := hw.NewSoC(e, hw.SoCConfig{WithSSMCore: true})
+		if err != nil {
+			return nil, err
+		}
+		alerts, err := s.build(e, soc)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < txs; i++ {
+			soc.AppCore.Read(hw.AddrSRAM+hw.Addr((i*64)%65536), 8) //nolint:errcheck
+		}
+		elapsed := time.Since(start)
+		res.Rows = append(res.Rows, E9Row{
+			Config:      s.name,
+			WallNsPerTx: float64(elapsed.Nanoseconds()) / float64(txs),
+			Alerts:      *alerts,
+		})
+	}
+
+	t := report.NewTable("E9 — Monitoring-path cost per bus transaction (ablation)",
+		"Configuration", "ns/tx (host)", "Alerts")
+	for _, r := range res.Rows {
+		t.AddRow(r.Config, report.F(r.WallNsPerTx), report.U(r.Alerts))
+	}
+	res.Table = t
+	return res, nil
+}
+
+type countingObserver struct{ n *uint64 }
+
+func (c countingObserver) ObserveTx(hw.Transaction, hw.Result) { *c.n++ }
+
+// E10Row is one channel configuration's outcome.
+type E10Row struct {
+	// PeriodUS is the per-bit transmission period in microseconds.
+	PeriodUS int
+	// Partitioned reports whether the cache countermeasure was active.
+	Partitioned bool
+	// BitsSent and BitsCorrect give the decode accuracy.
+	BitsSent, BitsCorrect int
+	// BandwidthBps is the effective channel bandwidth in bits per
+	// virtual second (correct bits only).
+	BandwidthBps float64
+	// Detected reports whether the timing monitor raised the
+	// cross-world signature.
+	Detected bool
+	// DetectionLatency is virtual time from channel start to detection.
+	DetectionLatency time.Duration
+}
+
+// E10Result is the covert-channel experiment.
+type E10Result struct {
+	Rows   []E10Row
+	Table  *report.Table
+	Series report.Series
+}
+
+// RunE10CovertChannel runs the prime+probe channel at several bit rates,
+// with and without cache partitioning, measuring decode accuracy,
+// bandwidth and detection.
+func RunE10CovertChannel(seed int64) (*E10Result, error) {
+	res := &E10Result{Series: report.Series{Name: "covert-bandwidth", XLabel: "bit period µs", YLabel: "bits/s"}}
+	periods := []int{20, 50, 100, 200}
+
+	for _, partitioned := range []bool{false, true} {
+		for _, periodUS := range periods {
+			row, err := runCovertChannelOnce(seed, periodUS, partitioned)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, *row)
+			if !partitioned {
+				res.Series.Add(float64(periodUS), row.BandwidthBps)
+			}
+		}
+	}
+
+	t := report.NewTable("E10 — Cache covert channel: capacity vs detection (and partitioning ablation)",
+		"Bit period", "Partitioned", "Bits", "Correct", "Bandwidth b/s", "Detected", "Detection latency")
+	for _, r := range res.Rows {
+		lat := "-"
+		if r.Detected {
+			lat = r.DetectionLatency.String()
+		}
+		t.AddRow(
+			(time.Duration(r.PeriodUS) * time.Microsecond).String(),
+			yn(r.Partitioned), report.I(r.BitsSent), report.I(r.BitsCorrect),
+			report.F(r.BandwidthBps), yn(r.Detected), lat)
+	}
+	res.Table = t
+	return res, nil
+}
+
+func runCovertChannelOnce(seed int64, periodUS int, partitioned bool) (*E10Row, error) {
+	e := sim.New(seed)
+	soc, err := hw.NewSoC(e, hw.SoCConfig{WithSSMCore: true})
+	if err != nil {
+		return nil, err
+	}
+	if partitioned {
+		soc.Cache.SetPartitioned(true)
+	}
+	te := tee.New(e, soc, tee.Config{})
+	vendor, err := deriveVendor("e10")
+	if err != nil {
+		return nil, err
+	}
+	if err := te.LoadTrustlet(bootSigned("sender", 1, vendor), vendor.Public()); err != nil {
+		return nil, err
+	}
+
+	var detectedAt sim.VirtualTime
+	tm, err := monitor.NewTimingMonitor(e, soc.Cache, monitor.TimingConfig{
+		Window: time.Millisecond, CrossWorldPerWindow: 8,
+	}, monitor.SinkFunc(func(a monitor.Alert) {
+		if a.Signature == monitor.SigTimingCrossWorld && detectedAt == 0 {
+			detectedAt = a.At
+		}
+	}))
+	if err != nil {
+		return nil, err
+	}
+	defer tm.Stop()
+
+	const bits = 64
+	const set0, set1 = 7, 23
+	ways := 4
+	secret := make([]int, bits)
+	for i := range secret {
+		secret[i] = (i * 7 % 3) % 2
+	}
+	decoded := make([]int, 0, bits)
+
+	start := e.Now()
+	i := 0
+	var tk *sim.Ticker
+	tk, err = sim.NewTicker(e, time.Duration(periodUS)*time.Microsecond, func(sim.VirtualTime) {
+		// Receiver primes.
+		soc.Cache.ProbeSet(set0, hw.WorldNormal, ways)
+		soc.Cache.ProbeSet(set1, hw.WorldNormal, ways)
+		// Sender transmits bit i.
+		set := set0
+		if secret[i] == 1 {
+			set = set1
+		}
+		te.InvokeTrustlet("sender", []int{set}, ways) //nolint:errcheck
+		// Receiver probes and decodes.
+		m0 := soc.Cache.ProbeSet(set0, hw.WorldNormal, ways)
+		m1 := soc.Cache.ProbeSet(set1, hw.WorldNormal, ways)
+		bit := 0
+		if m1 > m0 {
+			bit = 1
+		}
+		decoded = append(decoded, bit)
+		i++
+		if i >= bits {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.RunFor(time.Duration(bits+20) * time.Duration(periodUS) * time.Microsecond)
+
+	correct := 0
+	for j := range decoded {
+		if decoded[j] == secret[j] {
+			correct++
+		}
+	}
+	elapsed := e.Now().Sub(start)
+	row := &E10Row{
+		PeriodUS:    periodUS,
+		Partitioned: partitioned,
+		BitsSent:    len(decoded),
+		BitsCorrect: correct,
+	}
+	if elapsed > 0 {
+		row.BandwidthBps = float64(correct) / elapsed.Seconds()
+	}
+	if detectedAt != 0 {
+		row.Detected = true
+		row.DetectionLatency = detectedAt.Sub(start)
+	}
+	return row, nil
+}
+
+// deriveVendor builds a deterministic vendor key for experiment rigs.
+func deriveVendor(label string) (*cryptoutil.KeyPair, error) {
+	return cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("exp-vendor"), label, "", 32))
+}
+
+// bootSigned builds a small signed image for experiment rigs.
+func bootSigned(name string, version uint64, vendor *cryptoutil.KeyPair) *boot.Image {
+	return boot.BuildSigned(name, version, []byte(name), vendor)
+}

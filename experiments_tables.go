@@ -1,0 +1,109 @@
+package cres
+
+import (
+	"fmt"
+	"strings"
+
+	"cres/internal/landscape"
+	"cres/internal/report"
+)
+
+// This file implements experiments E1 and E2: regenerating the paper's
+// two exhibits (Table I and Figure 1) from the machine-readable
+// landscape model, including the derived coverage analysis that makes
+// the paper's respond/recover gap a computed result.
+
+// E1Result is the outcome of regenerating Table I.
+type E1Result struct {
+	// Requirements is the number of derived embedded security
+	// requirements.
+	Requirements int
+	// Coverage is the per-function landscape coverage.
+	Coverage []landscape.Coverage
+	// Gaps are requirements with no existing method (the paper's
+	// research gap, derived from the data).
+	Gaps []string
+	// Table is the regenerated Table I.
+	Table *report.Table
+	// CoverageTable is the derived per-function coverage summary.
+	CoverageTable *report.Table
+}
+
+// RunE1TableI regenerates Table I and its coverage analysis.
+func RunE1TableI() *E1Result {
+	reqs := landscape.Registry()
+	res := &E1Result{
+		Requirements: len(reqs),
+		Coverage:     landscape.ComputeCoverage(reqs),
+		Gaps:         landscape.GapRequirements(reqs),
+	}
+
+	t := report.NewTable(
+		"Table I — NIS principles, CSF functions, derived embedded security requirements,\nexisting landscape and CRES module realising each requirement",
+		"CSF Function", "NIS Principle", "Requirement", "Existing methods", "CRES module")
+	for _, r := range reqs {
+		var names []string
+		for _, m := range r.Existing {
+			names = append(names, fmt.Sprintf("%s[%s]", m.Name, m.Category.String()[:1]))
+		}
+		existing := strings.Join(names, ", ")
+		if existing == "" {
+			existing = "— none (research gap) —"
+		}
+		t.AddRow(r.Function.String(), abbreviate(r.NISPrinciple, 28), r.Name, abbreviate(existing, 60), r.CRESModule)
+	}
+	res.Table = t
+
+	ct := report.NewTable(
+		"Derived coverage per CSF core function (methods by category; gap = requirement with no method)",
+		"Function", "Requirements", "Standards", "Commercial", "Academic", "Gaps")
+	for _, c := range res.Coverage {
+		ct.AddRow(c.Function.String(), report.I(c.Requirements), report.I(c.Standard),
+			report.I(c.Commercial), report.I(c.Academic), strings.Join(c.Gaps, ", "))
+	}
+	res.CoverageTable = ct
+	return res
+}
+
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// E2Result is the outcome of regenerating Figure 1.
+type E2Result struct {
+	Frameworks []landscape.Framework
+	// Association maps each CSF function to its NIS principle, the
+	// cross-framework linkage Figure 1 illustrates.
+	Association *report.Table
+	// Rendered is the text rendering of the figure.
+	Rendered string
+}
+
+// RunE2Figure1 regenerates Figure 1: the three frameworks and the CSF
+// function / NIS principle association.
+func RunE2Figure1() *E2Result {
+	res := &E2Result{Frameworks: landscape.Figure1()}
+
+	var b strings.Builder
+	b.WriteString("Figure 1 — Core security functions, principles and activities of\n")
+	b.WriteString("NIST RMF, NIST CSF and NCSC NIS regulations\n\n")
+	for _, f := range res.Frameworks {
+		fmt.Fprintf(&b, "%s %s (%s):\n", f.Body, f.Name, f.Kind)
+		for _, e := range f.Elements {
+			fmt.Fprintf(&b, "    - %s\n", e)
+		}
+		b.WriteByte('\n')
+	}
+	res.Rendered = b.String()
+
+	assoc := report.NewTable("CSF core function -> NIS principle association",
+		"CSF Function", "NIS Principle")
+	for _, f := range landscape.AllFunctions() {
+		assoc.AddRow(f.String(), landscape.PrincipleFor(f))
+	}
+	res.Association = assoc
+	return res
+}

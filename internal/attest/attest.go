@@ -1,0 +1,289 @@
+// Package attest implements remote attestation between field devices and
+// an operator-side verifier: nonce challenge, TPM quote generation,
+// event-log replay and appraisal against a golden-measurement policy.
+// Secure provisioning and attestation appear in Table I's PROTECT row;
+// the fleet experiment (E8) exercises the verifier at scale.
+//
+// The design follows the standard challenge-response shape: the verifier
+// sends a fresh nonce; the device returns a quote (AIK-signed PCR values
+// bound to the nonce) plus its measured-boot event log; the verifier
+// checks the signature, replays the log against the quoted PCRs, and
+// appraises every firmware measurement against an allowlist.
+package attest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/m2m"
+	"cres/internal/sim"
+	"cres/internal/tpm"
+)
+
+// Message kinds on the wire.
+const (
+	MsgChallenge = "attest.challenge"
+	MsgQuote     = "attest.quote"
+)
+
+// PCRSelection is the default set of registers appraised.
+var PCRSelection = []int{tpm.PCRBootROM, tpm.PCRFirmware, tpm.PCRPolicy}
+
+// challengePayload is the verifier -> device request.
+type challengePayload struct {
+	Nonce     []byte
+	Selection []int
+}
+
+// quotePayload is the device -> verifier response.
+type quotePayload struct {
+	Quote tpm.Quote
+	Log   []tpm.LogEntry
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("attest: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("attest: decode: %w", err)
+	}
+	return nil
+}
+
+// Attester is the device side: it answers challenges with quotes.
+type Attester struct {
+	tpm *tpm.TPM
+	ep  *m2m.Endpoint
+
+	answered uint64
+}
+
+// NewAttester wires a device TPM to its network endpoint. It registers
+// the challenge handler.
+func NewAttester(t *tpm.TPM, ep *m2m.Endpoint) *Attester {
+	a := &Attester{tpm: t, ep: ep}
+	ep.Handle(MsgChallenge, a.onChallenge)
+	return a
+}
+
+// Answered returns the number of challenges answered.
+func (a *Attester) Answered() uint64 { return a.answered }
+
+func (a *Attester) onChallenge(msg m2m.Message) {
+	var ch challengePayload
+	if err := decode(msg.Payload, &ch); err != nil {
+		return
+	}
+	sel := ch.Selection
+	if len(sel) == 0 {
+		sel = PCRSelection
+	}
+	q, err := a.tpm.GenerateQuote(ch.Nonce, sel)
+	if err != nil {
+		return
+	}
+	payload, err := encode(quotePayload{Quote: *q, Log: a.tpm.EventLog()})
+	if err != nil {
+		return
+	}
+	if err := a.ep.Send(msg.From, MsgQuote, payload); err != nil {
+		return
+	}
+	a.answered++
+}
+
+// Verdict is the outcome of appraising one device.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictTrusted means the quote verified and all measurements are
+	// known good.
+	VerdictTrusted Verdict = iota + 1
+	// VerdictUntrusted means the appraisal failed (bad signature, log
+	// mismatch, unknown measurement, stale nonce).
+	VerdictUntrusted
+	// VerdictTimeout means the device never answered.
+	VerdictTimeout
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictTrusted:
+		return "trusted"
+	case VerdictUntrusted:
+		return "untrusted"
+	case VerdictTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Appraisal is the verifier's conclusion about one device.
+type Appraisal struct {
+	Device  string
+	At      sim.VirtualTime
+	Verdict Verdict
+	Reason  string
+}
+
+// Policy is the verifier's appraisal policy.
+type Policy struct {
+	// AIKs maps device names to their provisioned attestation keys.
+	AIKs map[string]cryptoutil.PublicKey
+	// AllowedMeasurements is the allowlist of known-good measurement
+	// digests (firmware releases, boot ROM, policies).
+	AllowedMeasurements map[cryptoutil.Digest]bool
+	// RequiredPCRs must appear in the quote selection (defaults to
+	// PCRSelection).
+	RequiredPCRs []int
+}
+
+// ErrPolicy reports an appraisal-policy failure.
+var ErrPolicy = errors.New("attest: policy violation")
+
+// Appraise is the pure verifier core: it checks a quote and event log
+// against the policy. It is independent of the transport so it can be
+// tested and benchmarked directly.
+func (p *Policy) Appraise(device string, q *tpm.Quote, log []tpm.LogEntry, nonce []byte) error {
+	aik, ok := p.AIKs[device]
+	if !ok {
+		return fmt.Errorf("%w: no AIK provisioned for %s", ErrPolicy, device)
+	}
+	if err := tpm.VerifyQuote(aik, q, nonce); err != nil {
+		return fmt.Errorf("%w: %w", ErrPolicy, err)
+	}
+	required := p.RequiredPCRs
+	if len(required) == 0 {
+		required = PCRSelection
+	}
+	quoted := make(map[int]cryptoutil.Digest, len(q.Selection))
+	for i, pcr := range q.Selection {
+		quoted[pcr] = q.Values[i]
+	}
+	for _, pcr := range required {
+		if _, ok := quoted[pcr]; !ok {
+			return fmt.Errorf("%w: quote missing required PCR %d", ErrPolicy, pcr)
+		}
+	}
+	// Replay the log and require consistency with the quoted values.
+	replayed, err := tpm.ReplayLog(log)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrPolicy, err)
+	}
+	for pcr, val := range quoted {
+		if replayed[pcr] != val {
+			return fmt.Errorf("%w: event log replay of PCR %d does not match quote", ErrPolicy, pcr)
+		}
+	}
+	// Every individual measurement must be known good.
+	for _, entry := range log {
+		if !p.AllowedMeasurements[entry.Measurement] {
+			return fmt.Errorf("%w: unknown measurement %s (%s) in PCR %d", ErrPolicy, entry.Measurement.Short(), entry.Desc, entry.PCR)
+		}
+	}
+	return nil
+}
+
+// Verifier drives challenges over the network and collects appraisals.
+type Verifier struct {
+	engine  *sim.Engine
+	ep      *m2m.Endpoint
+	policy  *Policy
+	entropy *cryptoutil.DeterministicEntropy
+
+	pending    map[string][]byte // device -> outstanding nonce
+	onResult   func(Appraisal)
+	appraisals []Appraisal
+}
+
+// NewVerifier creates a verifier on the given endpoint. onResult (may be
+// nil) receives each appraisal as it concludes.
+func NewVerifier(engine *sim.Engine, ep *m2m.Endpoint, policy *Policy, onResult func(Appraisal)) *Verifier {
+	v := &Verifier{
+		engine:   engine,
+		ep:       ep,
+		policy:   policy,
+		entropy:  cryptoutil.NewDeterministicEntropy([]byte("verifier-nonce-seed")),
+		pending:  make(map[string][]byte),
+		onResult: onResult,
+	}
+	ep.Handle(MsgQuote, v.onQuote)
+	return v
+}
+
+// Challenge sends a fresh-nonce challenge to a device.
+func (v *Verifier) Challenge(device string) error {
+	nonce := make([]byte, 16)
+	if _, err := v.entropy.Read(nonce); err != nil {
+		return fmt.Errorf("attest: nonce: %w", err)
+	}
+	payload, err := encode(challengePayload{Nonce: nonce, Selection: PCRSelection})
+	if err != nil {
+		return err
+	}
+	if err := v.ep.Send(device, MsgChallenge, payload); err != nil {
+		return fmt.Errorf("attest: challenge %s: %w", device, err)
+	}
+	v.pending[device] = nonce
+	return nil
+}
+
+// Pending returns the number of outstanding challenges.
+func (v *Verifier) Pending() int { return len(v.pending) }
+
+// TimeoutPending concludes every outstanding challenge as a timeout.
+// The fleet driver calls it after its deadline.
+func (v *Verifier) TimeoutPending() {
+	for device := range v.pending {
+		v.conclude(Appraisal{
+			Device: device, At: v.engine.Now(),
+			Verdict: VerdictTimeout, Reason: "no quote before deadline",
+		})
+		delete(v.pending, device)
+	}
+}
+
+// Appraisals returns all concluded appraisals.
+func (v *Verifier) Appraisals() []Appraisal {
+	out := make([]Appraisal, len(v.appraisals))
+	copy(out, v.appraisals)
+	return out
+}
+
+func (v *Verifier) onQuote(msg m2m.Message) {
+	nonce, ok := v.pending[msg.From]
+	if !ok {
+		return // unsolicited quote
+	}
+	var qp quotePayload
+	if err := decode(msg.Payload, &qp); err != nil {
+		v.conclude(Appraisal{Device: msg.From, At: v.engine.Now(), Verdict: VerdictUntrusted, Reason: "malformed quote payload"})
+		delete(v.pending, msg.From)
+		return
+	}
+	delete(v.pending, msg.From)
+	if err := v.policy.Appraise(msg.From, &qp.Quote, qp.Log, nonce); err != nil {
+		v.conclude(Appraisal{Device: msg.From, At: v.engine.Now(), Verdict: VerdictUntrusted, Reason: err.Error()})
+		return
+	}
+	v.conclude(Appraisal{Device: msg.From, At: v.engine.Now(), Verdict: VerdictTrusted, Reason: "quote verified; all measurements known good"})
+}
+
+func (v *Verifier) conclude(a Appraisal) {
+	v.appraisals = append(v.appraisals, a)
+	if v.onResult != nil {
+		v.onResult(a)
+	}
+}

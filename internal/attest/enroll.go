@@ -1,0 +1,123 @@
+package attest
+
+import (
+	"fmt"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/m2m"
+	"cres/internal/sim"
+)
+
+// Enrollment: before a verifier can appraise a device it must learn the
+// device's attestation identity key (AIK) over an authenticated channel.
+// In production this happens via the OEM's PKI: the device presents its
+// AIK wrapped in a certificate chain rooted at the OEM. This file
+// implements that flow over the m2m substrate (Table I PROTECT row:
+// "Digital Certificate, Public-Private Key Infrastructure").
+
+// Message kinds for enrollment.
+const (
+	MsgEnroll       = "attest.enroll"
+	MsgEnrollResult = "attest.enroll-result"
+)
+
+// enrollPayload is the device -> verifier enrollment request.
+type enrollPayload struct {
+	AIK cryptoutil.PublicKey
+	// Chain certifies the AIK: chain[0] is the AIK certificate
+	// ("attestation" role), ending at a certificate signed by the OEM
+	// root the verifier trusts.
+	Chain []*cryptoutil.Certificate
+}
+
+// enrollResult is the verifier -> device response.
+type enrollResult struct {
+	Accepted bool
+	Reason   string
+}
+
+// EnrollmentRecord is the verifier's record of one enrollment attempt.
+type EnrollmentRecord struct {
+	Device   string
+	At       sim.VirtualTime
+	Accepted bool
+	Reason   string
+}
+
+// EnrollmentAuthority configures AIK enrollment on a Verifier.
+type EnrollmentAuthority struct {
+	// RootKey is the OEM root public key the verifier trusts.
+	RootKey cryptoutil.PublicKey
+	// RootName is the OEM root's issuer name.
+	RootName string
+}
+
+// EnableEnrollment installs the enrollment handler on the verifier.
+// Accepted AIKs are added to the appraisal policy; onEnroll (may be nil)
+// observes each attempt.
+func (v *Verifier) EnableEnrollment(auth EnrollmentAuthority, onEnroll func(EnrollmentRecord)) {
+	v.ep.Handle(MsgEnroll, func(msg m2m.Message) {
+		rec := EnrollmentRecord{Device: msg.From, At: v.engine.Now()}
+		var ep enrollPayload
+		if err := decode(msg.Payload, &ep); err != nil {
+			rec.Reason = "malformed enrollment payload"
+		} else if err := v.checkEnrollment(msg.From, &ep, auth); err != nil {
+			rec.Reason = err.Error()
+		} else {
+			v.policy.AIKs[msg.From] = ep.AIK
+			rec.Accepted = true
+			rec.Reason = "AIK certified by OEM root"
+		}
+		if onEnroll != nil {
+			onEnroll(rec)
+		}
+		if payload, err := encode(enrollResult{Accepted: rec.Accepted, Reason: rec.Reason}); err == nil {
+			v.ep.Send(msg.From, MsgEnrollResult, payload) //nolint:errcheck // best-effort notify
+		}
+	})
+}
+
+// checkEnrollment validates the AIK certificate chain.
+func (v *Verifier) checkEnrollment(device string, ep *enrollPayload, auth EnrollmentAuthority) error {
+	if len(ep.Chain) == 0 {
+		return fmt.Errorf("attest: enrollment without certificate chain")
+	}
+	leafKey, err := cryptoutil.VerifyChain(ep.Chain, auth.RootKey, auth.RootName)
+	if err != nil {
+		return fmt.Errorf("attest: enrollment chain: %w", err)
+	}
+	leaf := ep.Chain[0]
+	if leaf.Subject != device {
+		return fmt.Errorf("attest: certificate subject %q does not match sender %q", leaf.Subject, device)
+	}
+	if leaf.Role != "attestation" {
+		return fmt.Errorf("attest: certificate role %q, want attestation", leaf.Role)
+	}
+	if !leafKey.Equal(ep.AIK) {
+		return fmt.Errorf("attest: presented AIK does not match certified key")
+	}
+	return nil
+}
+
+// Enroll sends the device's AIK and certificate chain to the verifier.
+// onResult (may be nil) receives the verifier's decision.
+func Enroll(ep *m2m.Endpoint, verifier string, aik cryptoutil.PublicKey, chain []*cryptoutil.Certificate, onResult func(accepted bool, reason string)) error {
+	if onResult != nil {
+		ep.Handle(MsgEnrollResult, func(msg m2m.Message) {
+			var res enrollResult
+			if err := decode(msg.Payload, &res); err != nil {
+				onResult(false, "malformed enrollment result")
+				return
+			}
+			onResult(res.Accepted, res.Reason)
+		})
+	}
+	payload, err := encode(enrollPayload{AIK: aik, Chain: chain})
+	if err != nil {
+		return err
+	}
+	if err := ep.Send(verifier, MsgEnroll, payload); err != nil {
+		return fmt.Errorf("attest: enroll: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package attest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cres/internal/cryptoutil"
+)
+
+// enrollFixture extends the attestation fixture with an OEM PKI.
+type enrollFixture struct {
+	*fixture
+	oemRoot *cryptoutil.KeyPair
+	records []EnrollmentRecord
+}
+
+func newEnrollFixture(t *testing.T) *enrollFixture {
+	t.Helper()
+	f := newFixture(t, 1)
+	root, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0xAA}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := &enrollFixture{fixture: f, oemRoot: root}
+	ef.verifier.EnableEnrollment(EnrollmentAuthority{
+		RootKey:  root.Public(),
+		RootName: "oem-root",
+	}, func(r EnrollmentRecord) { ef.records = append(ef.records, r) })
+	return ef
+}
+
+// aikChain issues a valid chain for the device's AIK.
+func (ef *enrollFixture) aikChain(t *testing.T, device string, aik cryptoutil.PublicKey) []*cryptoutil.Certificate {
+	t.Helper()
+	return []*cryptoutil.Certificate{
+		cryptoutil.IssueCertificate(device, "attestation", aik, "oem-root", ef.oemRoot),
+	}
+}
+
+func TestEnrollmentHappyPath(t *testing.T) {
+	ef := newEnrollFixture(t)
+	// Un-register the AIK the fixture pre-provisioned: enrollment is
+	// now the only way in.
+	delete(ef.policy.AIKs, "device-0")
+
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	var accepted bool
+	var reason string
+	err := Enroll(dep, "verifier", aik, ef.aikChain(t, "device-0", aik),
+		func(ok bool, r string) { accepted, reason = ok, r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.engine.RunFor(5 * time.Millisecond)
+	if !accepted {
+		t.Fatalf("enrollment rejected: %s", reason)
+	}
+	if len(ef.records) != 1 || !ef.records[0].Accepted {
+		t.Fatalf("records = %+v", ef.records)
+	}
+	// The enrolled AIK now supports appraisal end to end.
+	ef.verifier.Challenge("device-0")
+	ef.engine.RunFor(5 * time.Millisecond)
+	if len(ef.results) != 1 || ef.results[0].Verdict != VerdictTrusted {
+		t.Fatalf("post-enrollment appraisal = %+v", ef.results)
+	}
+}
+
+func TestEnrollmentRejectsRogueChain(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	rogue, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0xBB}, 32))
+
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	chain := []*cryptoutil.Certificate{
+		cryptoutil.IssueCertificate("device-0", "attestation", aik, "oem-root", rogue),
+	}
+	var accepted = true
+	Enroll(dep, "verifier", aik, chain, func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if accepted {
+		t.Fatal("rogue chain accepted")
+	}
+	if _, ok := ef.policy.AIKs["device-0"]; ok {
+		t.Fatal("AIK registered despite rejection")
+	}
+}
+
+func TestEnrollmentRejectsSubjectMismatch(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	// Certificate legitimately issued — but for another device.
+	chain := ef.aikChain(t, "device-9", aik)
+	var accepted = true
+	Enroll(dep, "verifier", aik, chain, func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if accepted {
+		t.Fatal("stolen certificate accepted")
+	}
+}
+
+func TestEnrollmentRejectsWrongRole(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	chain := []*cryptoutil.Certificate{
+		cryptoutil.IssueCertificate("device-0", "firmware-signing", aik, "oem-root", ef.oemRoot),
+	}
+	var accepted = true
+	Enroll(dep, "verifier", aik, chain, func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if accepted {
+		t.Fatal("wrong-role certificate accepted")
+	}
+}
+
+func TestEnrollmentRejectsKeySubstitution(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	otherKey, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0xCC}, 32))
+	// Chain certifies a DIFFERENT key than the presented AIK.
+	chain := ef.aikChain(t, "device-0", otherKey.Public())
+	var accepted = true
+	Enroll(dep, "verifier", aik, chain, func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if accepted {
+		t.Fatal("key substitution accepted")
+	}
+}
+
+func TestEnrollmentEmptyChain(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	dep, _ := ef.net.Node("device-0")
+	var accepted = true
+	Enroll(dep, "verifier", ef.tpms["device-0"].AIKPublic(), nil,
+		func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if accepted {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestEnrollmentWithIntermediate(t *testing.T) {
+	ef := newEnrollFixture(t)
+	delete(ef.policy.AIKs, "device-0")
+	intermediate, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0xDD}, 32))
+	dep, _ := ef.net.Node("device-0")
+	aik := ef.tpms["device-0"].AIKPublic()
+	chain := []*cryptoutil.Certificate{
+		cryptoutil.IssueCertificate("device-0", "attestation", aik, "factory-ca", intermediate),
+		cryptoutil.IssueCertificate("factory-ca", "intermediate", intermediate.Public(), "oem-root", ef.oemRoot),
+	}
+	var accepted bool
+	Enroll(dep, "verifier", aik, chain, func(ok bool, _ string) { accepted = ok })
+	ef.engine.RunFor(5 * time.Millisecond)
+	if !accepted {
+		t.Fatal("valid two-level chain rejected")
+	}
+}

@@ -1,0 +1,314 @@
+package boot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/hw"
+	"cres/internal/sim"
+	"cres/internal/tpm"
+)
+
+type bootRig struct {
+	mem    *hw.Memory
+	tpm    *tpm.TPM
+	vendor *cryptoutil.KeyPair
+}
+
+func newBootRig(t *testing.T) *bootRig {
+	t.Helper()
+	e := sim.New(1)
+	soc, err := hw.NewSoC(e, hw.SoCConfig{WithSSMCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte("boot-test")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0x42}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bootRig{mem: soc.Mem, tpm: tp, vendor: vendor}
+}
+
+func TestImageMarshalRoundTrip(t *testing.T) {
+	rig := newBootRig(t)
+	im := BuildSigned("firmware", 3, []byte("payload bytes"), rig.vendor)
+	got, err := ParseImage(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != im.Name || got.Version != im.Version ||
+		!bytes.Equal(got.Payload, im.Payload) || !bytes.Equal(got.Signature, im.Signature) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Digest() != im.Digest() {
+		t.Fatal("digest changed across round trip")
+	}
+}
+
+func TestParseImageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("XXXXgarbage"),
+		append([]byte("CRIM"), 0xff, 0xff, 0xff, 0xff), // absurd name length
+	}
+	for i, data := range cases {
+		if _, err := ParseImage(data); !errors.Is(err, ErrImageFormat) {
+			t.Errorf("case %d: err = %v, want ErrImageFormat", i, err)
+		}
+	}
+}
+
+func TestImageVerify(t *testing.T) {
+	rig := newBootRig(t)
+	im := BuildSigned("firmware", 1, []byte("code"), rig.vendor)
+	if err := im.Verify(rig.vendor.Public()); err != nil {
+		t.Fatal(err)
+	}
+	im.Payload = []byte("tampered code")
+	if err := im.Verify(rig.vendor.Public()); !errors.Is(err, ErrImageSignature) {
+		t.Fatalf("tampered image: err = %v", err)
+	}
+}
+
+func TestBootHappyPath(t *testing.T) {
+	rig := newBootRig(t)
+	im := BuildSigned("firmware", 1, []byte("app v1"), rig.vendor)
+	if err := InstallImage(rig.mem, SlotA, im); err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(rig.vendor.Public(), Options{})
+	rep, err := chain.Boot(rig.mem, rig.tpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy || rep.BootedSlot != SlotA || rep.Image.Version != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Measured boot: PCR0 and PCR2 must be non-zero.
+	p0, _ := rig.tpm.PCRValue(tpm.PCRBootROM)
+	p2, _ := rig.tpm.PCRValue(tpm.PCRFirmware)
+	if p0.IsZero() || p2.IsZero() {
+		t.Fatal("measured boot did not extend PCRs")
+	}
+	// Version counter advanced.
+	if rig.tpm.Counter(CounterFirmwareVersion).Value() != 1 {
+		t.Fatalf("version counter = %d", rig.tpm.Counter(CounterFirmwareVersion).Value())
+	}
+}
+
+func TestBootPrefersHigherVersion(t *testing.T) {
+	rig := newBootRig(t)
+	InstallImage(rig.mem, SlotA, BuildSigned("firmware", 1, []byte("v1"), rig.vendor))
+	InstallImage(rig.mem, SlotB, BuildSigned("firmware", 2, []byte("v2"), rig.vendor))
+	chain := NewChain(rig.vendor.Public(), Options{})
+	rep, err := chain.Boot(rig.mem, rig.tpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BootedSlot != SlotB || rep.Image.Version != 2 {
+		t.Fatalf("booted %v v%d, want B v2", rep.BootedSlot, rep.Image.Version)
+	}
+}
+
+func TestBootFallsBackToOtherSlot(t *testing.T) {
+	rig := newBootRig(t)
+	good := BuildSigned("firmware", 1, []byte("good"), rig.vendor)
+	InstallImage(rig.mem, SlotA, good)
+	// Slot B: higher version but corrupted signature.
+	bad := BuildSigned("firmware", 9, []byte("bad"), rig.vendor)
+	bad.Signature[0] ^= 1
+	InstallImage(rig.mem, SlotB, bad)
+
+	chain := NewChain(rig.vendor.Public(), Options{})
+	rep, err := chain.Boot(rig.mem, rig.tpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BootedSlot != SlotA {
+		t.Fatalf("booted slot %v, want fallback to A", rep.BootedSlot)
+	}
+	// The failed B attempt is visible in the stage log (evidence).
+	var sawBFailure bool
+	for _, st := range rep.Stages {
+		if st.Err != nil {
+			sawBFailure = true
+		}
+	}
+	if !sawBFailure {
+		t.Fatal("slot B failure not recorded in stages")
+	}
+}
+
+func TestBootRejectsUnsignedEverywhere(t *testing.T) {
+	rig := newBootRig(t)
+	attacker, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0x66}, 32))
+	evil := BuildSigned("firmware", 5, []byte("evil"), attacker)
+	InstallImage(rig.mem, SlotA, evil)
+	chain := NewChain(rig.vendor.Public(), Options{})
+	rep, err := chain.Boot(rig.mem, rig.tpm)
+	if !errors.Is(err, ErrNoBootableSlot) {
+		t.Fatalf("err = %v, want ErrNoBootableSlot", err)
+	}
+	if rep.Healthy {
+		t.Fatal("report healthy despite refusing to boot")
+	}
+}
+
+func TestRollbackProtectionBlocksDowngrade(t *testing.T) {
+	rig := newBootRig(t)
+	chain := NewChain(rig.vendor.Public(), Options{})
+
+	// Boot v5 first: counter rises to 5.
+	InstallImage(rig.mem, SlotA, BuildSigned("firmware", 5, []byte("v5"), rig.vendor))
+	if _, err := chain.Boot(rig.mem, rig.tpm); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker installs a genuine-but-old (vulnerable) v2 image in both
+	// slots — the downgrade attack of Section IV.
+	old := BuildSigned("firmware", 2, []byte("v2-vulnerable"), rig.vendor)
+	InstallImage(rig.mem, SlotA, old)
+	InstallImage(rig.mem, SlotB, old)
+
+	rig.tpm.Reboot()
+	_, err := chain.Boot(rig.mem, rig.tpm)
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("err = %v, want ErrRollback", err)
+	}
+}
+
+func TestWeakChainAcceptsDowngrade(t *testing.T) {
+	rig := newBootRig(t)
+	hardened := NewChain(rig.vendor.Public(), Options{})
+	InstallImage(rig.mem, SlotA, BuildSigned("firmware", 5, []byte("v5"), rig.vendor))
+	if _, err := hardened.Boot(rig.mem, rig.tpm); err != nil {
+		t.Fatal(err)
+	}
+	old := BuildSigned("firmware", 2, []byte("v2"), rig.vendor)
+	InstallImage(rig.mem, SlotA, old)
+	InstallImage(rig.mem, SlotB, old)
+	rig.tpm.Reboot()
+
+	weak := NewChain(rig.vendor.Public(), Options{WeakNoRollbackProtection: true})
+	rep, err := weak.Boot(rig.mem, rig.tpm)
+	if err != nil {
+		t.Fatalf("weak chain rejected downgrade: %v", err)
+	}
+	if rep.Image.Version != 2 {
+		t.Fatalf("booted v%d", rep.Image.Version)
+	}
+}
+
+func TestWeakSignatureChainBootsUnsigned(t *testing.T) {
+	rig := newBootRig(t)
+	attacker, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0x66}, 32))
+	evil := BuildSigned("firmware", 1, []byte("persistent early code exec"), attacker)
+	InstallImage(rig.mem, SlotA, evil)
+
+	weak := NewChain(rig.vendor.Public(), Options{WeakSkipSignature: true})
+	rep, err := weak.Boot(rig.mem, rig.tpm)
+	if err != nil {
+		t.Fatalf("weak chain rejected: %v", err)
+	}
+	if !rep.Healthy {
+		t.Fatal("weak chain unhealthy")
+	}
+	// Even the weak chain measures what it boots: the TPM evidence trail
+	// still shows the evil image — that is what attestation catches.
+	p2, _ := rig.tpm.PCRValue(tpm.PCRFirmware)
+	if p2.IsZero() {
+		t.Fatal("weak chain skipped measurement")
+	}
+}
+
+func TestMeasurementsDifferAcrossImages(t *testing.T) {
+	rig := newBootRig(t)
+	chain := NewChain(rig.vendor.Public(), Options{})
+	InstallImage(rig.mem, SlotA, BuildSigned("firmware", 1, []byte("v1"), rig.vendor))
+	if _, err := chain.Boot(rig.mem, rig.tpm); err != nil {
+		t.Fatal(err)
+	}
+	v1PCR, _ := rig.tpm.PCRValue(tpm.PCRFirmware)
+
+	rig.tpm.Reboot()
+	InstallImage(rig.mem, SlotA, BuildSigned("firmware", 2, []byte("v2"), rig.vendor))
+	if _, err := chain.Boot(rig.mem, rig.tpm); err != nil {
+		t.Fatal(err)
+	}
+	v2PCR, _ := rig.tpm.PCRValue(tpm.PCRFirmware)
+	if v1PCR == v2PCR {
+		t.Fatal("different firmware produced identical PCR2")
+	}
+}
+
+func TestInstallImageTooBig(t *testing.T) {
+	rig := newBootRig(t)
+	huge := &Image{Name: "x", Version: 1, Payload: make([]byte, hw.SizeSlot)}
+	if err := InstallImage(rig.mem, SlotA, huge); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if SlotA.String() != "A" || SlotB.String() != "B" {
+		t.Fatal("slot names")
+	}
+}
+
+// Property: marshal/parse round-trips arbitrary images.
+func TestPropertyImageRoundTrip(t *testing.T) {
+	f := func(name string, version uint64, payload []byte) bool {
+		if len(name) > 1024 || len(payload) > 4096 {
+			return true
+		}
+		im := &Image{Name: name, Version: version, Payload: payload, Signature: []byte("sig")}
+		got, err := ParseImage(im.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Name == im.Name && got.Version == im.Version &&
+			bytes.Equal(got.Payload, im.Payload) && got.Digest() == im.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption of a signed image either fails to
+// parse or fails signature verification — it never boots.
+func TestPropertyCorruptionNeverBoots(t *testing.T) {
+	rig := newBootRig(t)
+	im := BuildSigned("firmware", 1, []byte("payload-for-corruption-test"), rig.vendor)
+	blob := im.Marshal()
+	chain := NewChain(rig.vendor.Public(), Options{})
+	f := func(pos uint16, val byte) bool {
+		data := append([]byte(nil), blob...)
+		idx := int(pos) % len(data)
+		if data[idx] == val {
+			return true // no-op corruption
+		}
+		data[idx] = val
+		got, err := ParseImage(data)
+		if err != nil {
+			return true // refused at parse: fine
+		}
+		if err := chain.verifyImage(got); err != nil {
+			return true // refused at verify: fine
+		}
+		// Parsed and verified despite corruption — only acceptable if the
+		// corrupted byte was outside all semantic fields (trailing slack),
+		// in which case the digest is unchanged.
+		return got.Digest() == im.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

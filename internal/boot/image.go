@@ -1,0 +1,157 @@
+// Package boot implements the platform's secure and measured boot chain:
+// signed, versioned firmware images stored in A/B flash slots, a
+// multi-stage verify-then-execute loader rooted in an immutable boot ROM,
+// measurement of every stage into the TPM, and anti-rollback enforcement
+// via TPM monotonic counters.
+//
+// Section IV of the paper critiques deployed secure boot as "vulnerable
+// ... due to lack of roll-back prevention, as the system was using the
+// same digital signature to verify the application". The package
+// therefore implements both the hardened chain and, behind explicit
+// options, the weakened variants those attacks exploited — so the attack
+// experiments (E7) can demonstrate the difference.
+package boot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cres/internal/cryptoutil"
+)
+
+// imageMagic identifies a serialized firmware image in flash.
+var imageMagic = [4]byte{'C', 'R', 'I', 'M'}
+
+// MaxImageSize bounds a serialized image (matches the flash slot size).
+const MaxImageSize = 512 << 10
+
+// Image is a firmware image: a named, versioned payload with a vendor
+// signature over its digest.
+type Image struct {
+	// Name identifies the component, e.g. "bootloader" or "firmware".
+	Name string
+	// Version is the monotonically increasing release number used for
+	// anti-rollback.
+	Version uint64
+	// Payload is the executable content.
+	Payload []byte
+	// Signature is the vendor's ed25519 signature over Digest().
+	Signature []byte
+}
+
+// Errors returned by image handling and the boot chain.
+var (
+	ErrImageFormat    = errors.New("boot: malformed image")
+	ErrImageSignature = errors.New("boot: image signature invalid")
+	ErrRollback       = errors.New("boot: image version rolled back")
+	ErrNoBootableSlot = errors.New("boot: no bootable slot")
+)
+
+// Digest returns the image's measurement: a digest over name, version
+// and payload (signature excluded).
+func (im *Image) Digest() cryptoutil.Digest {
+	var ver [8]byte
+	binary.BigEndian.PutUint64(ver[:], im.Version)
+	return cryptoutil.SumAll([]byte(im.Name), ver[:], im.Payload)
+}
+
+// Sign attaches the vendor signature.
+func (im *Image) Sign(vendor *cryptoutil.KeyPair) {
+	d := im.Digest()
+	im.Signature = vendor.Sign(d[:])
+}
+
+// Verify checks the signature against the vendor public key.
+func (im *Image) Verify(vendor cryptoutil.PublicKey) error {
+	d := im.Digest()
+	if !vendor.Verify(d[:], im.Signature) {
+		return fmt.Errorf("%w: %s v%d", ErrImageSignature, im.Name, im.Version)
+	}
+	return nil
+}
+
+// Marshal serializes the image for flash storage.
+func (im *Image) Marshal() []byte {
+	buf := make([]byte, 0, 4+4+len(im.Name)+8+4+len(im.Payload)+4+len(im.Signature))
+	buf = append(buf, imageMagic[:]...)
+	var l [8]byte
+	binary.BigEndian.PutUint32(l[:4], uint32(len(im.Name)))
+	buf = append(buf, l[:4]...)
+	buf = append(buf, im.Name...)
+	binary.BigEndian.PutUint64(l[:], im.Version)
+	buf = append(buf, l[:]...)
+	binary.BigEndian.PutUint32(l[:4], uint32(len(im.Payload)))
+	buf = append(buf, l[:4]...)
+	buf = append(buf, im.Payload...)
+	binary.BigEndian.PutUint32(l[:4], uint32(len(im.Signature)))
+	buf = append(buf, l[:4]...)
+	buf = append(buf, im.Signature...)
+	return buf
+}
+
+// ParseImage deserializes an image from flash bytes.
+func ParseImage(data []byte) (*Image, error) {
+	if len(data) < 4 || [4]byte(data[:4]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrImageFormat)
+	}
+	off := 4
+	readU32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("%w: truncated", ErrImageFormat)
+		}
+		v := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	readBytes := func(n uint32) ([]byte, error) {
+		if uint64(n) > MaxImageSize || off+int(n) > len(data) {
+			return nil, fmt.Errorf("%w: truncated field", ErrImageFormat)
+		}
+		b := data[off : off+int(n)]
+		off += int(n)
+		return b, nil
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	name, err := readBytes(nameLen)
+	if err != nil {
+		return nil, err
+	}
+	if off+8 > len(data) {
+		return nil, fmt.Errorf("%w: truncated version", ErrImageFormat)
+	}
+	version := binary.BigEndian.Uint64(data[off:])
+	off += 8
+	payloadLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readBytes(payloadLen)
+	if err != nil {
+		return nil, err
+	}
+	sigLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := readBytes(sigLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{
+		Name:      string(name),
+		Version:   version,
+		Payload:   append([]byte(nil), payload...),
+		Signature: append([]byte(nil), sig...),
+	}, nil
+}
+
+// BuildSigned is a convenience constructing a signed image.
+func BuildSigned(name string, version uint64, payload []byte, vendor *cryptoutil.KeyPair) *Image {
+	im := &Image{Name: name, Version: version, Payload: append([]byte(nil), payload...)}
+	im.Sign(vendor)
+	return im
+}

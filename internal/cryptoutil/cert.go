@@ -1,0 +1,89 @@
+package cryptoutil
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Certificate binds a subject name and role to a public key, signed by an
+// issuer. It is a minimal stand-in for the X.509 device-identity
+// certificates used in secure provisioning (Table I, protect row:
+// "Digital Certificate, Public-Private Key Infrastructure").
+type Certificate struct {
+	// Subject names the key holder, e.g. a device serial number.
+	Subject string
+	// Role describes the key's purpose, e.g. "device-identity",
+	// "firmware-signing", "attestation".
+	Role string
+	// Key is the certified public key.
+	Key PublicKey
+	// Issuer names the signer.
+	Issuer string
+	// Signature is the issuer's signature over the TBS encoding.
+	Signature []byte
+}
+
+// Errors returned by certificate verification.
+var (
+	ErrCertSignature = errors.New("cryptoutil: certificate signature invalid")
+	ErrCertChain     = errors.New("cryptoutil: certificate chain broken")
+)
+
+// tbs returns the deterministic to-be-signed encoding.
+func (c *Certificate) tbs() []byte {
+	var buf []byte
+	appendStr := func(s string) {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, s...)
+	}
+	appendStr(c.Subject)
+	appendStr(c.Role)
+	appendStr(string(c.Key))
+	appendStr(c.Issuer)
+	return buf
+}
+
+// IssueCertificate creates a certificate for key, signed by issuerKey.
+func IssueCertificate(subject, role string, key PublicKey, issuer string, issuerKey *KeyPair) *Certificate {
+	c := &Certificate{Subject: subject, Role: role, Key: key, Issuer: issuer}
+	c.Signature = issuerKey.Sign(c.tbs())
+	return c
+}
+
+// VerifyWith checks the certificate's signature against the issuer key.
+func (c *Certificate) VerifyWith(issuerKey PublicKey) error {
+	if !issuerKey.Verify(c.tbs(), c.Signature) {
+		return fmt.Errorf("%w: subject %q issuer %q", ErrCertSignature, c.Subject, c.Issuer)
+	}
+	return nil
+}
+
+// VerifyChain verifies a chain of certificates ending at a trusted root
+// key. chain[0] is the leaf; each chain[i] must be signed by the key in
+// chain[i+1], and the last certificate must be signed by rootKey. The
+// issuer/subject names must link up. Returns the leaf's public key on
+// success.
+func VerifyChain(chain []*Certificate, rootKey PublicKey, rootName string) (PublicKey, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrCertChain)
+	}
+	for i, c := range chain {
+		var issuerKey PublicKey
+		var issuerName string
+		if i == len(chain)-1 {
+			issuerKey, issuerName = rootKey, rootName
+		} else {
+			issuerKey, issuerName = chain[i+1].Key, chain[i+1].Subject
+		}
+		if c.Issuer != issuerName {
+			return nil, fmt.Errorf("%w: cert %d issuer %q, expected %q", ErrCertChain, i, c.Issuer, issuerName)
+		}
+		if err := c.VerifyWith(issuerKey); err != nil {
+			return nil, fmt.Errorf("cert %d: %w", i, err)
+		}
+	}
+	return chain[0].Key, nil
+}

@@ -1,0 +1,408 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKeyPair(t *testing.T, seed byte) *KeyPair {
+	t.Helper()
+	s := bytes.Repeat([]byte{seed}, 32)
+	kp, err := KeyPairFromSeed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	if a != b {
+		t.Fatal("Sum not deterministic")
+	}
+	if a == Sum([]byte("world")) {
+		t.Fatal("distinct inputs collided")
+	}
+}
+
+func TestSumAllBoundaries(t *testing.T) {
+	// Length prefixing must make ("ab","c") differ from ("a","bc").
+	if SumAll([]byte("ab"), []byte("c")) == SumAll([]byte("a"), []byte("bc")) {
+		t.Fatal("SumAll boundary ambiguity")
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	d := Sum([]byte("x"))
+	if len(d.String()) != 64 {
+		t.Fatalf("hex length = %d, want 64", len(d.String()))
+	}
+	if len(d.Short()) != 8 {
+		t.Fatalf("Short length = %d, want 8", len(d.Short()))
+	}
+	var zero Digest
+	if !zero.IsZero() || d.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if !d.Equal(d) || d.Equal(zero) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestExtendDigestOrderMatters(t *testing.T) {
+	a, b := Sum([]byte("a")), Sum([]byte("b"))
+	var pcr Digest
+	ab := ExtendDigest(ExtendDigest(pcr, a), b)
+	ba := ExtendDigest(ExtendDigest(pcr, b), a)
+	if ab == ba {
+		t.Fatal("extend must be order-sensitive")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := testKeyPair(t, 1)
+	msg := []byte("attest me")
+	sig := kp.Sign(msg)
+	if !kp.Public().Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if kp.Public().Verify([]byte("other"), sig) {
+		t.Fatal("signature over other message accepted")
+	}
+	sig[0] ^= 1
+	if kp.Public().Verify(msg, sig) {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestVerifyBadKeyLength(t *testing.T) {
+	if PublicKey([]byte("short")).Verify([]byte("m"), make([]byte, 64)) {
+		t.Fatal("short key verified")
+	}
+}
+
+func TestGenerateKeyPairFromEntropy(t *testing.T) {
+	e1 := NewDeterministicEntropy([]byte("seed"))
+	e2 := NewDeterministicEntropy([]byte("seed"))
+	k1, err := GenerateKeyPair(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKeyPair(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Public().Equal(k2.Public()) {
+		t.Fatal("same entropy produced different keys")
+	}
+}
+
+func TestZeroise(t *testing.T) {
+	kp := testKeyPair(t, 2)
+	if kp.Zeroised() {
+		t.Fatal("fresh key reports zeroised")
+	}
+	kp.Zeroise()
+	if !kp.Zeroised() {
+		t.Fatal("Zeroised() = false after Zeroise")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sign after Zeroise did not panic")
+		}
+	}()
+	kp.Sign([]byte("x"))
+}
+
+func TestZeroiseBytes(t *testing.T) {
+	b := []byte{1, 2, 3}
+	Zeroise(b)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("Zeroise left data")
+		}
+	}
+}
+
+func TestDeriveKey(t *testing.T) {
+	parent := []byte("parent-key-material")
+	a := DeriveKey(parent, "seal", "slot0", 32)
+	b := DeriveKey(parent, "seal", "slot0", 32)
+	if !bytes.Equal(a, b) {
+		t.Fatal("derivation not deterministic")
+	}
+	if bytes.Equal(a, DeriveKey(parent, "seal", "slot1", 32)) {
+		t.Fatal("context not separating")
+	}
+	if bytes.Equal(a, DeriveKey(parent, "sign", "slot0", 32)) {
+		t.Fatal("label not separating")
+	}
+	if got := DeriveKey(parent, "l", "c", 100); len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	if DeriveKey(parent, "l", "c", 0) != nil {
+		t.Fatal("zero length should return nil")
+	}
+}
+
+func TestMAC(t *testing.T) {
+	key := []byte("k")
+	msg := []byte("m")
+	tag := MAC(key, msg)
+	if !VerifyMAC(key, msg, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	if VerifyMAC([]byte("other"), msg, tag) {
+		t.Fatal("wrong key accepted")
+	}
+	if VerifyMAC(key, []byte("tampered"), tag) {
+		t.Fatal("tampered message accepted")
+	}
+}
+
+func TestSealerRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("root"), "seal", "", 32)
+	s, err := NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("secret configuration")
+	aad := []byte("slotA")
+	blob := s.Seal(pt, aad)
+	got, err := s.Open(blob, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("Open = %q, want %q", got, pt)
+	}
+}
+
+func TestSealerRejectsTamper(t *testing.T) {
+	s, err := NewSealer(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := s.Seal([]byte("data"), []byte("aad"))
+	blob[len(blob)-1] ^= 1
+	if _, err := s.Open(blob, []byte("aad")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("Open(tampered) err = %v, want ErrSealCorrupt", err)
+	}
+}
+
+func TestSealerRejectsWrongAAD(t *testing.T) {
+	s, err := NewSealer(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := s.Seal([]byte("data"), []byte("aad"))
+	if _, err := s.Open(blob, []byte("other")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("Open(wrong aad) err = %v, want ErrSealCorrupt", err)
+	}
+}
+
+func TestSealerRejectsShortBlob(t *testing.T) {
+	s, err := NewSealer(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open([]byte{1, 2}, nil); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("Open(short) err = %v, want ErrSealCorrupt", err)
+	}
+}
+
+func TestSealerKeyLength(t *testing.T) {
+	if _, err := NewSealer(make([]byte, 16)); err == nil {
+		t.Fatal("NewSealer(16-byte key) error = nil")
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	var c MonotonicCounter
+	if c.Value() != 0 {
+		t.Fatal("zero value counter not 0")
+	}
+	if c.Increment() != 1 {
+		t.Fatal("Increment != 1")
+	}
+	if err := c.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(5); err != nil {
+		t.Fatalf("Advance(same) = %v, want nil", err)
+	}
+	if err := c.Advance(4); !errors.Is(err, ErrCounterRollback) {
+		t.Fatalf("Advance(backwards) = %v, want ErrCounterRollback", err)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCertificateIssueVerify(t *testing.T) {
+	root := testKeyPair(t, 3)
+	dev := testKeyPair(t, 4)
+	cert := IssueCertificate("device-001", "device-identity", dev.Public(), "oem-root", root)
+	if err := cert.VerifyWith(root.Public()); err != nil {
+		t.Fatal(err)
+	}
+	other := testKeyPair(t, 5)
+	if err := cert.VerifyWith(other.Public()); !errors.Is(err, ErrCertSignature) {
+		t.Fatalf("verify with wrong key = %v, want ErrCertSignature", err)
+	}
+}
+
+func TestCertificateTamperDetected(t *testing.T) {
+	root := testKeyPair(t, 3)
+	dev := testKeyPair(t, 4)
+	cert := IssueCertificate("device-001", "device-identity", dev.Public(), "oem-root", root)
+	cert.Subject = "device-666"
+	if err := cert.VerifyWith(root.Public()); err == nil {
+		t.Fatal("tampered subject accepted")
+	}
+}
+
+func TestVerifyChain(t *testing.T) {
+	root := testKeyPair(t, 6)
+	intermediate := testKeyPair(t, 7)
+	leaf := testKeyPair(t, 8)
+	interCert := IssueCertificate("oem-ca", "intermediate", intermediate.Public(), "root", root)
+	leafCert := IssueCertificate("device-042", "device-identity", leaf.Public(), "oem-ca", intermediate)
+
+	got, err := VerifyChain([]*Certificate{leafCert, interCert}, root.Public(), "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(leaf.Public()) {
+		t.Fatal("chain returned wrong leaf key")
+	}
+}
+
+func TestVerifyChainBrokenLink(t *testing.T) {
+	root := testKeyPair(t, 6)
+	rogue := testKeyPair(t, 9)
+	leaf := testKeyPair(t, 8)
+	// Leaf signed by rogue, not by anything chaining to root.
+	leafCert := IssueCertificate("device-042", "device-identity", leaf.Public(), "root", rogue)
+	if _, err := VerifyChain([]*Certificate{leafCert}, root.Public(), "root"); err == nil {
+		t.Fatal("broken chain accepted")
+	}
+}
+
+func TestVerifyChainWrongIssuerName(t *testing.T) {
+	root := testKeyPair(t, 6)
+	leaf := testKeyPair(t, 8)
+	leafCert := IssueCertificate("device-042", "device-identity", leaf.Public(), "someone-else", root)
+	if _, err := VerifyChain([]*Certificate{leafCert}, root.Public(), "root"); !errors.Is(err, ErrCertChain) {
+		t.Fatalf("err = %v, want ErrCertChain", err)
+	}
+}
+
+func TestVerifyChainEmpty(t *testing.T) {
+	root := testKeyPair(t, 6)
+	if _, err := VerifyChain(nil, root.Public(), "root"); !errors.Is(err, ErrCertChain) {
+		t.Fatalf("err = %v, want ErrCertChain", err)
+	}
+}
+
+func TestDeterministicEntropyRepeatable(t *testing.T) {
+	a := NewDeterministicEntropy([]byte("s"))
+	b := NewDeterministicEntropy([]byte("s"))
+	bufA, bufB := make([]byte, 100), make([]byte, 100)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := NewDeterministicEntropy([]byte("t"))
+	bufC := make([]byte, 100)
+	if _, err := c.Read(bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Fatal("different seeds produced same stream")
+	}
+}
+
+func TestDeterministicEntropyChunking(t *testing.T) {
+	// Reading 100 bytes at once must equal reading them in odd chunks.
+	a := NewDeterministicEntropy([]byte("s"))
+	whole := make([]byte, 100)
+	a.Read(whole)
+
+	b := NewDeterministicEntropy([]byte("s"))
+	var parts []byte
+	for _, n := range []int{1, 7, 31, 61} {
+		buf := make([]byte, n)
+		b.Read(buf)
+		parts = append(parts, buf...)
+	}
+	if !bytes.Equal(whole, parts) {
+		t.Fatal("chunked reads diverge from whole read")
+	}
+}
+
+// Property: sign/verify round-trips for arbitrary messages.
+func TestPropertySignVerify(t *testing.T) {
+	kp := testKeyPair(t, 10)
+	f := func(msg []byte) bool {
+		sig := kp.Sign(msg)
+		return kp.Public().Verify(msg, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: seal/open round-trips and tampering any byte is detected.
+func TestPropertySealOpen(t *testing.T) {
+	s, err := NewSealer(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pt, aad []byte, flip uint16) bool {
+		blob := s.Seal(pt, aad)
+		got, err := s.Open(blob, aad)
+		if err != nil || !bytes.Equal(got, pt) {
+			return false
+		}
+		// Flip one byte anywhere; Open must fail.
+		idx := int(flip) % len(blob)
+		blob[idx] ^= 0xff
+		_, err = s.Open(blob, aad)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: monotonic counter never decreases under any op sequence.
+func TestPropertyCounterMonotonic(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var c MonotonicCounter
+		last := c.Value()
+		for _, op := range ops {
+			if op%2 == 0 {
+				c.Increment()
+			} else {
+				_ = c.Advance(uint64(op)) // may fail; must not regress
+			}
+			if c.Value() < last {
+				return false
+			}
+			last = c.Value()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package cryptoutil
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// DeterministicEntropy is an io.Reader producing a reproducible
+// pseudo-random byte stream from a seed, suitable for simulation use
+// where experiments must be bit-for-bit repeatable. It expands the seed
+// with SHA-256 in counter mode. It is NOT a cryptographically secure
+// RNG for production use; the simulator substitutes it for the device's
+// TRNG.
+type DeterministicEntropy struct {
+	seed    Digest
+	counter uint64
+	buf     []byte
+}
+
+var _ io.Reader = (*DeterministicEntropy)(nil)
+
+// NewDeterministicEntropy returns an entropy stream derived from seed.
+func NewDeterministicEntropy(seed []byte) *DeterministicEntropy {
+	return &DeterministicEntropy{seed: Sum(seed)}
+}
+
+// Read fills p with pseudo-random bytes. It never fails.
+func (d *DeterministicEntropy) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			d.counter++
+			var ctr [8]byte
+			binary.BigEndian.PutUint64(ctr[:], d.counter)
+			block := SumAll(d.seed[:], ctr[:])
+			d.buf = block[:]
+		}
+		c := copy(p, d.buf)
+		p = p[c:]
+		d.buf = d.buf[c:]
+	}
+	return n, nil
+}

@@ -1,0 +1,269 @@
+package evidence
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/sim"
+)
+
+func vt(d time.Duration) sim.VirtualTime { return sim.VirtualTime(d) }
+
+func TestAppendChainsRecords(t *testing.T) {
+	var l Log
+	r1 := l.Append(vt(time.Millisecond), "bus-monitor", KindObservation, "tx sample")
+	r2 := l.Append(vt(2*time.Millisecond), "ssm", KindAlert, "anomaly")
+	if r1.Seq != 1 || r2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", r1.Seq, r2.Seq)
+	}
+	if !r1.Prev.IsZero() {
+		t.Fatal("first record prev not zero")
+	}
+	if r2.Prev != r1.Hash {
+		t.Fatal("second record not chained to first")
+	}
+	if l.Head() != r2.Hash {
+		t.Fatal("head wrong")
+	}
+	if l.Len() != 2 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestVerifyIntactChain(t *testing.T) {
+	var l Log
+	for i := 0; i < 100; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, fmt.Sprintf("obs %d", i))
+	}
+	if seq, err := l.Verify(); err != nil || seq != 0 {
+		t.Fatalf("Verify = %d, %v", seq, err)
+	}
+}
+
+func TestVerifyDetectsRewrite(t *testing.T) {
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, fmt.Sprintf("obs %d", i))
+	}
+	if !l.TamperRewrite(5, "attacker was never here") {
+		t.Fatal("TamperRewrite failed")
+	}
+	seq, err := l.Verify()
+	if !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("err = %v, want ErrChainBroken", err)
+	}
+	if seq != 5 {
+		t.Fatalf("first corrupt seq = %d, want 5", seq)
+	}
+}
+
+func TestTamperRewriteBounds(t *testing.T) {
+	var l Log
+	l.Append(0, "m", KindObservation, "x")
+	if l.TamperRewrite(0, "y") || l.TamperRewrite(2, "y") {
+		t.Fatal("out-of-range rewrite accepted")
+	}
+}
+
+func TestEraseIsSilentWithoutAnchor(t *testing.T) {
+	// The baseline scenario: attacker erases the tail; a plain chain
+	// verify still passes — this is exactly the paper's critique.
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	l.TamperErase(4)
+	if l.Len() != 4 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if _, err := l.Verify(); err != nil {
+		t.Fatalf("truncated chain failed plain verify: %v", err)
+	}
+}
+
+func TestAnchorDetectsErase(t *testing.T) {
+	signer, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{1}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	anchor := l.SignHead(signer)
+	if err := l.VerifyAnchor(anchor, signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	l.TamperErase(4)
+	if err := l.VerifyAnchor(anchor, signer.Public()); !errors.Is(err, ErrAnchorMismatch) {
+		t.Fatalf("err = %v, want ErrAnchorMismatch", err)
+	}
+}
+
+func TestAnchorDetectsHistoricalRewrite(t *testing.T) {
+	signer, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{1}, 32))
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	anchor := l.SignHead(signer)
+	// Rewrite record 10 (the anchored head) in place.
+	l.TamperRewrite(10, "clean")
+	// Chain verify catches it; anchor check passes only against the
+	// stored (now stale) hash, so use Verify first in real flows. Here
+	// the stored Hash field is unchanged, so anchor still matches — but
+	// the chain itself is broken.
+	if _, err := l.Verify(); !errors.Is(err, ErrChainBroken) {
+		t.Fatal("rewrite not caught by chain verify")
+	}
+	_ = anchor
+}
+
+func TestAnchorForgedSignature(t *testing.T) {
+	signer, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{1}, 32))
+	other, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{2}, 32))
+	var l Log
+	l.Append(0, "m", KindObservation, "x")
+	anchor := l.SignHead(signer)
+	if err := l.VerifyAnchor(anchor, other.Public()); !errors.Is(err, ErrAnchorMismatch) {
+		t.Fatal("anchor verified under wrong key")
+	}
+}
+
+func TestAnchorEmptyLog(t *testing.T) {
+	signer, _ := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{1}, 32))
+	var l Log
+	anchor := l.SignHead(signer)
+	if err := l.VerifyAnchor(anchor, signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	w := l.Window(vt(3*time.Millisecond), vt(6*time.Millisecond))
+	if len(w) != 4 {
+		t.Fatalf("window len = %d, want 4", len(w))
+	}
+	if w[0].At != vt(3*time.Millisecond) || w[3].At != vt(6*time.Millisecond) {
+		t.Fatalf("window bounds wrong: %v..%v", w[0].At, w[3].At)
+	}
+}
+
+func TestContinuityFullCoverage(t *testing.T) {
+	var l Log
+	// One record per ms over [0, 100ms], gap tolerance 2ms.
+	for i := 0; i <= 100; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	c := l.Continuity(0, vt(100*time.Millisecond), vt(2*time.Millisecond), "m")
+	if c < 0.99 {
+		t.Fatalf("continuity = %f, want ~1", c)
+	}
+}
+
+func TestContinuityWithDarkWindow(t *testing.T) {
+	var l Log
+	// Records over [0,40ms] and [60ms,100ms]; dark 20ms in the middle.
+	for i := 0; i <= 100; i++ {
+		if i > 40 && i < 60 {
+			continue
+		}
+		l.Append(vt(time.Duration(i)*time.Millisecond), "m", KindObservation, "obs")
+	}
+	c := l.Continuity(0, vt(100*time.Millisecond), vt(2*time.Millisecond), "m")
+	if c < 0.78 || c > 0.86 {
+		t.Fatalf("continuity = %f, want ~0.82 (18ms dark)", c)
+	}
+}
+
+func TestContinuityEmptyAndDegenerate(t *testing.T) {
+	var l Log
+	if c := l.Continuity(0, vt(time.Millisecond), vt(time.Millisecond), ""); c != 0 {
+		t.Fatalf("empty log continuity = %f", c)
+	}
+	if c := l.Continuity(vt(time.Millisecond), 0, vt(time.Millisecond), ""); c != 0 {
+		t.Fatalf("inverted window continuity = %f", c)
+	}
+}
+
+func TestContinuityFiltersSource(t *testing.T) {
+	var l Log
+	for i := 0; i <= 10; i++ {
+		l.Append(vt(time.Duration(i)*time.Millisecond), "a", KindObservation, "obs")
+	}
+	c := l.Continuity(0, vt(10*time.Millisecond), vt(2*time.Millisecond), "b")
+	if c != 0 {
+		t.Fatalf("continuity for absent source = %f", c)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindObservation: "observation",
+		KindAlert:       "alert",
+		KindResponse:    "response",
+		KindRecovery:    "recovery",
+		KindLifecycle:   "lifecycle",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: a chain of any appended content verifies intact, and any
+// single-record detail mutation breaks verification at that record.
+func TestPropertyChainIntegrity(t *testing.T) {
+	f := func(details []string, mutate uint8) bool {
+		if len(details) == 0 {
+			return true
+		}
+		var l Log
+		for i, d := range details {
+			l.Append(vt(time.Duration(i)*time.Microsecond), "m", KindObservation, d)
+		}
+		if _, err := l.Verify(); err != nil {
+			return false
+		}
+		target := uint64(mutate)%uint64(len(details)) + 1
+		orig := l.records[target-1].Detail
+		l.TamperRewrite(target, orig+"-tampered")
+		seq, err := l.Verify()
+		return errors.Is(err, ErrChainBroken) && seq == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: anchors detect truncation to any shorter length.
+func TestPropertyAnchorTruncation(t *testing.T) {
+	signer, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{9}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n, cut uint8) bool {
+		total := int(n%50) + 2
+		var l Log
+		for i := 0; i < total; i++ {
+			l.Append(vt(time.Duration(i)*time.Microsecond), "m", KindObservation, "obs")
+		}
+		anchor := l.SignHead(signer)
+		keep := uint64(cut) % uint64(total) // strictly less than total
+		l.TamperErase(keep)
+		return errors.Is(l.VerifyAnchor(anchor, signer.Public()), ErrAnchorMismatch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"fmt"
+
+	"cres/internal/sim"
+)
+
+// BlockID identifies a basic block of application code. The control-flow
+// integrity monitor checks the sequence of executed blocks against the
+// program's expected control-flow graph.
+type BlockID uint32
+
+// ExecObserver receives basic-block execution events from a core.
+// The CFI monitor (paper Characteristic 2) implements ExecObserver.
+type ExecObserver interface {
+	ObserveExec(core string, block BlockID, at sim.VirtualTime)
+}
+
+// Core is a processing element on the SoC. It is a bus initiator that
+// additionally reports executed basic blocks to exec observers and can be
+// halted by the response manager (a physical countermeasure: clock-gating
+// the core).
+type Core struct {
+	name    string
+	init    *Initiator
+	engine  *sim.Engine
+	execObs []ExecObserver
+	halted  bool
+
+	blocksExecuted uint64
+}
+
+// NewCore creates a core attached to bus in the given world.
+func NewCore(engine *sim.Engine, bus *Bus, name string, world World) *Core {
+	return &Core{name: name, init: bus.Attach(name, world), engine: engine}
+}
+
+// Name returns the core's name.
+func (c *Core) Name() string { return c.name }
+
+// World returns the core's provisioned security world.
+func (c *Core) World() World { return c.init.World() }
+
+// Initiator exposes the core's bus handle.
+func (c *Core) Initiator() *Initiator { return c.init }
+
+// SubscribeExec registers an exec observer.
+func (c *Core) SubscribeExec(o ExecObserver) { c.execObs = append(c.execObs, o) }
+
+// ErrCoreHalted is returned for operations on a halted core.
+var ErrCoreHalted = fmt.Errorf("hw: core halted")
+
+// ExecBlock records execution of one basic block and notifies observers.
+func (c *Core) ExecBlock(b BlockID) error {
+	if c.halted {
+		return fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	c.blocksExecuted++
+	for _, o := range c.execObs {
+		o.ObserveExec(c.name, b, c.engine.Now())
+	}
+	return nil
+}
+
+// Read issues a bus read from this core.
+func (c *Core) Read(addr Addr, size uint64) ([]byte, error) {
+	if c.halted {
+		return nil, fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	return c.init.Read(addr, size)
+}
+
+// Write issues a bus write from this core.
+func (c *Core) Write(addr Addr, data []byte) error {
+	if c.halted {
+		return fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	return c.init.Write(addr, data)
+}
+
+// Fetch issues an instruction fetch from this core.
+func (c *Core) Fetch(addr Addr, size uint64) ([]byte, error) {
+	if c.halted {
+		return nil, fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	return c.init.Fetch(addr, size)
+}
+
+// Halt stops the core (response countermeasure).
+func (c *Core) Halt() { c.halted = true }
+
+// Resume restarts a halted core (recovery).
+func (c *Core) Resume() { c.halted = false }
+
+// Halted reports whether the core is halted.
+func (c *Core) Halted() bool { return c.halted }
+
+// BlocksExecuted returns the number of basic blocks executed.
+func (c *Core) BlocksExecuted() uint64 { return c.blocksExecuted }

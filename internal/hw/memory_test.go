@@ -1,0 +1,169 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPermString(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want string
+	}{
+		{0, "---"},
+		{PermRead, "r--"},
+		{PermRead | PermWrite, "rw-"},
+		{PermRead | PermWrite | PermExec, "rwx"},
+		{PermExec, "--x"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Perm(%d).String() = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAddRegionOverlap(t *testing.T) {
+	var m Memory
+	if _, err := m.AddRegion("a", 0x1000, 0x1000, PermRead, WorldNormal); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		base Addr
+		size uint64
+	}{
+		{"inside", 0x1800, 0x100},
+		{"spanning", 0x0800, 0x2000},
+		{"tail-overlap", 0x1fff, 0x10},
+		{"head-overlap", 0x0fff, 0x10},
+		{"exact", 0x1000, 0x1000},
+	}
+	for _, c := range cases {
+		if _, err := m.AddRegion(c.name, c.base, c.size, PermRead, WorldNormal); err == nil {
+			t.Errorf("AddRegion(%s) accepted overlapping region", c.name)
+		}
+	}
+	// Adjacent regions are fine.
+	if _, err := m.AddRegion("before", 0x0000, 0x1000, PermRead, WorldNormal); err != nil {
+		t.Errorf("adjacent-before rejected: %v", err)
+	}
+	if _, err := m.AddRegion("after", 0x2000, 0x1000, PermRead, WorldNormal); err != nil {
+		t.Errorf("adjacent-after rejected: %v", err)
+	}
+}
+
+func TestAddRegionZeroSize(t *testing.T) {
+	var m Memory
+	if _, err := m.AddRegion("z", 0, 0, PermRead, WorldNormal); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+}
+
+func TestFindUnmapped(t *testing.T) {
+	var m Memory
+	m.AddRegion("a", 0x1000, 0x1000, PermRead, WorldNormal)
+	cases := []struct {
+		addr Addr
+		n    uint64
+	}{
+		{0x0000, 1},        // before
+		{0x2000, 1},        // after
+		{0x1ff0, 0x20},     // straddles end
+		{0x1000, 0x1001},   // too big
+		{0xffffffffff, 16}, // far away
+	}
+	for _, c := range cases {
+		if _, f := m.Find(c.addr, c.n); f == nil || f.Code != FaultUnmapped {
+			t.Errorf("Find(%#x,%d) fault = %v, want unmapped", uint64(c.addr), c.n, f)
+		}
+	}
+}
+
+func TestPeekPokeRoundTrip(t *testing.T) {
+	var m Memory
+	m.AddRegion("a", 0x1000, 0x100, PermRead, WorldNormal)
+	want := []byte{1, 2, 3, 4}
+	if err := m.Poke(0x1010, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Peek(0x1010, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Peek = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegionLookup(t *testing.T) {
+	var m Memory
+	m.AddRegion("a", 0x1000, 0x100, PermRead, WorldNormal)
+	if _, ok := m.Region("a"); !ok {
+		t.Fatal("Region(a) not found")
+	}
+	if _, ok := m.Region("b"); ok {
+		t.Fatal("Region(b) found")
+	}
+	if n := len(m.Regions()); n != 1 {
+		t.Fatalf("Regions() len = %d, want 1", n)
+	}
+}
+
+func TestWorldString(t *testing.T) {
+	if WorldNormal.String() != "normal" || WorldSecure.String() != "secure" || WorldIsolated.String() != "isolated" {
+		t.Fatal("world names wrong")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Code: FaultSecurity, Addr: 0x3000, Region: "secure-sram", Detail: "normal-world access"}
+	if f.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	var err error = f
+	got, ok := AsFault(err)
+	if !ok || got != f {
+		t.Fatal("AsFault failed to round-trip")
+	}
+	if _, ok := AsFault(errors.New("x")); ok {
+		t.Fatal("AsFault matched plain error")
+	}
+}
+
+// Property: Poke then Peek returns exactly what was written, for any
+// offset/payload that fits inside the region.
+func TestPropertyPeekPoke(t *testing.T) {
+	var m Memory
+	const size = 4096
+	m.AddRegion("r", 0x1000, size, PermRead|PermWrite, WorldNormal)
+	f := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		o := uint64(off) % (size - uint64(len(payload)%size))
+		if o+uint64(len(payload)) > size {
+			return true // skip out-of-range combos
+		}
+		addr := Addr(0x1000 + o)
+		if err := m.Poke(addr, payload); err != nil {
+			return false
+		}
+		got, err := m.Peek(addr, uint64(len(payload)))
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+// Package landscape is the machine-readable model of the paper's two
+// exhibits: Figure 1 (the core security functions, principles and
+// activities of NIST RMF, NIST CSF and NCSC NIS) and Table I (the
+// association of NIS principles with CSF core security functions, the
+// derived embedded security requirements of a cyber resilient embedded
+// system, and the mapping of the existing embedded security landscape
+// onto those requirements).
+//
+// Encoding the table as data lets experiment E1 *derive* the paper's
+// central observation — that the RESPOND and RECOVER functions lack
+// active methods ("Active countermeasure" has no existing entry) — by
+// computing coverage, rather than merely asserting it. The package also
+// maps every derived requirement to the module of this repository that
+// realises it.
+package landscape
+
+import "sort"
+
+// Function is a NIST CSF core security function.
+type Function uint8
+
+// The five CSF core security functions.
+const (
+	Identify Function = iota + 1
+	Protect
+	Detect
+	Respond
+	Recover
+)
+
+// String implements fmt.Stringer.
+func (f Function) String() string {
+	switch f {
+	case Identify:
+		return "IDENTIFY"
+	case Protect:
+		return "PROTECT"
+	case Detect:
+		return "DETECT"
+	case Respond:
+		return "RESPOND"
+	case Recover:
+		return "RECOVER"
+	default:
+		return "FUNCTION?"
+	}
+}
+
+// AllFunctions lists the CSF functions in order.
+func AllFunctions() []Function { return []Function{Identify, Protect, Detect, Respond, Recover} }
+
+// Category classifies an existing method per Table I's legend.
+type Category uint8
+
+// Method categories (Table I legend).
+const (
+	// CategoryStandard marks international standards (v in the paper).
+	CategoryStandard Category = iota + 1
+	// CategoryCommercial marks commercially available methods (J).
+	CategoryCommercial
+	// CategoryAcademic marks academic research frameworks (Y).
+	CategoryAcademic
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryStandard:
+		return "standard"
+	case CategoryCommercial:
+		return "commercial"
+	case CategoryAcademic:
+		return "academic"
+	default:
+		return "category?"
+	}
+}
+
+// Method is one existing embedded security method, standard or framework
+// from Table I's rightmost column.
+type Method struct {
+	Name     string
+	Category Category
+}
+
+// Requirement is one derived embedded security requirement of a cyber
+// resilient embedded system (Table I, fourth column).
+type Requirement struct {
+	// Name is the requirement, e.g. "Chain of Trust".
+	Name string
+	// Function is the CSF core function it realises.
+	Function Function
+	// NISPrinciple is the associated NCSC NIS principle.
+	NISPrinciple string
+	// OperationalArea is the operational security grouping (third
+	// column), e.g. "Protection Method".
+	OperationalArea string
+	// Existing lists the existing landscape methods mapped onto the
+	// requirement. Empty means the paper found no existing method — a
+	// research gap.
+	Existing []Method
+	// CRESModule is the module of this repository that realises the
+	// requirement (our reproduction of the paper's proposal).
+	CRESModule string
+}
+
+// nis principle names.
+const (
+	nisManaging   = "Managing security risks"
+	nisProtecting = "Protecting against cyber attack"
+	nisDetecting  = "Detecting cyber security incidents"
+	nisMinimising = "Minimising the impact of cyber security incidents"
+)
+
+// Registry returns the full Table I model. The contents follow the
+// paper's rows; method lists are as printed (abbreviated families kept
+// together).
+func Registry() []Requirement {
+	std := func(names ...string) []Method { return methods(CategoryStandard, names...) }
+	com := func(names ...string) []Method { return methods(CategoryCommercial, names...) }
+	aca := func(names ...string) []Method { return methods(CategoryAcademic, names...) }
+	cat := func(groups ...[]Method) []Method {
+		var out []Method
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+
+	return []Requirement{
+		// IDENTIFY — Asset Management / Embedded Security Modelling.
+		{
+			Name: "Risk Assessment", Function: Identify, NISPrinciple: nisManaging,
+			OperationalArea: "Embedded Security Modelling",
+			Existing:        cat(com("STRIDE", "PASTA", "CVSS", "DREAD", "HARA")),
+			CRESModule:      "internal/threatmodel",
+		},
+		{
+			Name: "Threat and Security Modelling", Function: Identify, NISPrinciple: nisManaging,
+			OperationalArea: "Embedded Security Modelling",
+			Existing:        cat(std("IEC 61508", "ISO 26262 (ASIL A-D)", "ISO/IEC 15408")),
+			CRESModule:      "internal/threatmodel",
+		},
+		{
+			Name: "Attack surface identification", Function: Identify, NISPrinciple: nisManaging,
+			OperationalArea: "Embedded Security Modelling",
+			Existing:        cat(std("Common Criteria", "FIPS 140-2", "ETSI TVRA")),
+			CRESModule:      "internal/threatmodel (interface enumeration)",
+		},
+		{
+			Name: "Secure-by-design practises", Function: Identify, NISPrinciple: nisManaging,
+			OperationalArea: "Embedded Security Modelling",
+			Existing:        cat(std("ISO/IEC 27005", "SAE J3061", "ISO/IEC 27001")),
+			CRESModule:      "internal/policy (policy compilation)",
+		},
+
+		// PROTECT — Awareness Control / Protection Method.
+		{
+			Name: "Chain of Trust", Function: Protect, NISPrinciple: nisProtecting,
+			OperationalArea: "Protection Method",
+			Existing:        cat(com("Root of Trust", "Trusted Technologies", "Secure boot")),
+			CRESModule:      "internal/boot, internal/tpm",
+		},
+		{
+			Name: "Data Confidentiality and Integrity", Function: Protect, NISPrinciple: nisProtecting,
+			OperationalArea: "Protection Method",
+			Existing:        cat(com("AES", "ECC", "RSA", "EDSA", "ECDSA", "SHA", "SSL")),
+			CRESModule:      "internal/cryptoutil",
+		},
+		{
+			Name: "Secure Provisioning & Attestation", Function: Protect, NISPrinciple: nisProtecting,
+			OperationalArea: "Protection Method",
+			Existing:        cat(com("Digital Certificate", "Public-Private Key Infrastructure")),
+			CRESModule:      "internal/attest, internal/cryptoutil (certificates)",
+		},
+		{
+			Name: "Isolation and Segregation", Function: Protect, NISPrinciple: nisProtecting,
+			OperationalArea: "Protection Method",
+			Existing:        cat(com("ARM TrustZone", "Intel SGX")),
+			CRESModule:      "internal/tee, internal/hw (worlds)",
+		},
+
+		// DETECT — Event Discovery / Detection Method.
+		{
+			Name: "Platform Security Architecture", Function: Detect, NISPrinciple: nisDetecting,
+			OperationalArea: "Detection Method",
+			Existing:        cat(com("ARM Platform Security Architecture")),
+			CRESModule:      "internal/core (SSM)",
+		},
+		{
+			Name: "Trusted Execution Environment", Function: Detect, NISPrinciple: nisDetecting,
+			OperationalArea: "Detection Method",
+			Existing:        cat(com("GlobalPlatform", "ARM TEE", "QSEE", "Kinibi")),
+			CRESModule:      "internal/tee",
+		},
+		{
+			Name: "Static & Dynamic Flow Integrity", Function: Detect, NISPrinciple: nisDetecting,
+			OperationalArea: "Detection Method",
+			Existing:        cat(com("Dover"), aca("ARMHEx")),
+			CRESModule:      "internal/monitor (CFI monitor)",
+		},
+		{
+			Name: "Access Control and Policing", Function: Detect, NISPrinciple: nisDetecting,
+			OperationalArea: "Detection Method",
+			Existing:        cat(aca("SECA")),
+			CRESModule:      "internal/policy, internal/monitor (bus monitor)",
+		},
+
+		// RESPOND — Response Planning / Response Method.
+		{
+			Name: "Platform Security Manager", Function: Respond, NISPrinciple: nisMinimising,
+			OperationalArea: "Response Method",
+			Existing:        cat(com("Trusted Platform Module")),
+			CRESModule:      "internal/core (SSM on isolated core)",
+		},
+		{
+			Name: "Physical Security", Function: Respond, NISPrinciple: nisMinimising,
+			OperationalArea: "Response Method",
+			Existing:        cat(com("Side-channel countermeasure")),
+			CRESModule:      "internal/response (cache partition/flush)",
+		},
+		{
+			Name: "Passive countermeasure", Function: Respond, NISPrinciple: nisMinimising,
+			OperationalArea: "Response Method",
+			Existing:        cat(com("Reboot", "Reset", "Key zeroisation")),
+			CRESModule:      "internal/response (plus baseline reboot)",
+		},
+		{
+			// The paper's central gap: no existing entry in Table I.
+			Name: "Active countermeasure", Function: Respond, NISPrinciple: nisMinimising,
+			OperationalArea: "Response Method",
+			Existing:        nil,
+			CRESModule:      "internal/response (isolation, degradation), internal/core",
+		},
+
+		// RECOVER — Recovery Planning / Recovery Method.
+		{
+			Name: "Roll-back and Roll-forward", Function: Recover, NISPrinciple: nisMinimising,
+			OperationalArea: "Recovery Method",
+			Existing:        cat(com("Secure Firmware Update", "Over-the-air update")),
+			CRESModule:      "internal/recovery (updater, snapshots)",
+		},
+		{
+			Name: "Fault avoidance and tolerance", Function: Recover, NISPrinciple: nisMinimising,
+			OperationalArea: "Recovery Method",
+			Existing:        cat(com("Single event upset handling", "Parity", "Error Correction Codes")),
+			CRESModule:      "internal/recovery (TMR voting)",
+		},
+		{
+			Name: "Static and Dynamic Redundancy", Function: Recover, NISPrinciple: nisMinimising,
+			OperationalArea: "Recovery Method",
+			Existing:        cat(com("Hardware/Software redundancy", "Process pairs")),
+			CRESModule:      "internal/recovery (process pairs), internal/response (fallbacks)",
+		},
+		{
+			Name: "System Monitoring", Function: Recover, NISPrinciple: nisMinimising,
+			OperationalArea: "Recovery Method",
+			Existing:        cat(com("Voltage, clock and temperature monitors")),
+			CRESModule:      "internal/monitor (env monitor)",
+		},
+		{
+			// Evidence collection is listed as an operational activity
+			// with no mapped embedded method: the forensic gap.
+			Name: "Evidence Collection", Function: Recover, NISPrinciple: nisMinimising,
+			OperationalArea: "Recovery Method",
+			Existing:        nil,
+			CRESModule:      "internal/evidence (hash-chained log, anchors)",
+		},
+	}
+}
+
+func methods(c Category, names ...string) []Method {
+	out := make([]Method, len(names))
+	for i, n := range names {
+		out[i] = Method{Name: n, Category: c}
+	}
+	return out
+}
+
+// Coverage summarises the existing landscape for one CSF function.
+type Coverage struct {
+	Function     Function
+	Requirements int
+	// Methods counts existing methods by category.
+	Standard   int
+	Commercial int
+	Academic   int
+	// Gaps lists requirements with no existing method.
+	Gaps []string
+}
+
+// ComputeCoverage derives per-function coverage from the registry —
+// experiment E1's analysis step. The result makes the paper's claim
+// checkable: Respond and Recover are the only functions with gaps.
+func ComputeCoverage(reqs []Requirement) []Coverage {
+	byFn := make(map[Function]*Coverage)
+	for _, f := range AllFunctions() {
+		byFn[f] = &Coverage{Function: f}
+	}
+	for _, r := range reqs {
+		c, ok := byFn[r.Function]
+		if !ok {
+			c = &Coverage{Function: r.Function}
+			byFn[r.Function] = c
+		}
+		c.Requirements++
+		if len(r.Existing) == 0 {
+			c.Gaps = append(c.Gaps, r.Name)
+		}
+		for _, m := range r.Existing {
+			switch m.Category {
+			case CategoryStandard:
+				c.Standard++
+			case CategoryCommercial:
+				c.Commercial++
+			case CategoryAcademic:
+				c.Academic++
+			}
+		}
+	}
+	out := make([]Coverage, 0, len(byFn))
+	for _, f := range AllFunctions() {
+		out = append(out, *byFn[f])
+	}
+	return out
+}
+
+// Framework is one regulatory framework of Figure 1.
+type Framework struct {
+	// Name is the framework's short name.
+	Name string
+	// Body is the issuing authority.
+	Body string
+	// Kind labels the elements ("steps", "core functions", "principles").
+	Kind string
+	// Elements are the framework's ordered components.
+	Elements []string
+}
+
+// Figure1 returns the three frameworks of the paper's Figure 1.
+func Figure1() []Framework {
+	return []Framework{
+		{
+			Name: "Risk Management Framework (RMF)", Body: "NIST", Kind: "steps",
+			Elements: []string{"Prepare", "Categorize", "Select", "Implement", "Assess", "Authorize", "Monitor"},
+		},
+		{
+			Name: "Cyber Security Framework (CSF)", Body: "NIST", Kind: "core functions",
+			Elements: []string{"Identify", "Protect", "Detect", "Respond", "Recover"},
+		},
+		{
+			Name: "Security of Network and Information Systems (NIS)", Body: "NCSC", Kind: "principles",
+			Elements: []string{
+				nisManaging,
+				nisProtecting,
+				nisDetecting,
+				nisMinimising,
+			},
+		},
+	}
+}
+
+// PrincipleFor maps a CSF function to its associated NIS principle
+// (Table I's first-column association).
+func PrincipleFor(f Function) string {
+	switch f {
+	case Identify:
+		return nisManaging
+	case Protect:
+		return nisProtecting
+	case Detect:
+		return nisDetecting
+	case Respond, Recover:
+		return nisMinimising
+	default:
+		return ""
+	}
+}
+
+// GapRequirements returns the names of all requirements without any
+// existing method, sorted — the paper's research gap, derived.
+func GapRequirements(reqs []Requirement) []string {
+	var out []string
+	for _, r := range reqs {
+		if len(r.Existing) == 0 {
+			out = append(out, r.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

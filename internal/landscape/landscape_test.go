@@ -1,0 +1,141 @@
+package landscape
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllFunctions(t *testing.T) {
+	reqs := Registry()
+	seen := make(map[Function]int)
+	for _, r := range reqs {
+		seen[r.Function]++
+	}
+	for _, f := range AllFunctions() {
+		if seen[f] == 0 {
+			t.Errorf("function %v has no requirements", f)
+		}
+	}
+	if len(reqs) < 15 {
+		t.Fatalf("registry has %d requirements, expected the full Table I", len(reqs))
+	}
+}
+
+func TestEveryRequirementHasCRESModule(t *testing.T) {
+	for _, r := range Registry() {
+		if r.CRESModule == "" {
+			t.Errorf("requirement %q has no CRES module mapping", r.Name)
+		}
+		if r.NISPrinciple == "" || r.OperationalArea == "" {
+			t.Errorf("requirement %q incomplete: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestPaperGapIsDerivable(t *testing.T) {
+	// The paper's central observation: active response and evidence
+	// collection have no existing embedded method.
+	gaps := GapRequirements(Registry())
+	want := []string{"Active countermeasure", "Evidence Collection"}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestCoverageGapsOnlyInRespondRecover(t *testing.T) {
+	cov := ComputeCoverage(Registry())
+	if len(cov) != 5 {
+		t.Fatalf("coverage entries = %d", len(cov))
+	}
+	for _, c := range cov {
+		switch c.Function {
+		case Respond, Recover:
+			if len(c.Gaps) == 0 {
+				t.Errorf("%v: expected gaps, found none", c.Function)
+			}
+		default:
+			if len(c.Gaps) != 0 {
+				t.Errorf("%v: unexpected gaps %v", c.Function, c.Gaps)
+			}
+		}
+	}
+}
+
+func TestCoverageCounts(t *testing.T) {
+	cov := ComputeCoverage(Registry())
+	byFn := make(map[Function]Coverage)
+	for _, c := range cov {
+		byFn[c.Function] = c
+	}
+	idf := byFn[Identify]
+	if idf.Standard == 0 || idf.Commercial == 0 {
+		t.Fatalf("identify coverage = %+v", idf)
+	}
+	det := byFn[Detect]
+	if det.Academic == 0 {
+		t.Fatalf("detect should include academic frameworks: %+v", det)
+	}
+	// The PROTECT function is fully covered commercially.
+	prot := byFn[Protect]
+	if prot.Commercial == 0 || len(prot.Gaps) != 0 {
+		t.Fatalf("protect coverage = %+v", prot)
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	fws := Figure1()
+	if len(fws) != 3 {
+		t.Fatalf("frameworks = %d", len(fws))
+	}
+	var csf Framework
+	for _, f := range fws {
+		if f.Name == "" || f.Body == "" || len(f.Elements) == 0 {
+			t.Fatalf("incomplete framework: %+v", f)
+		}
+		if strings.Contains(f.Name, "CSF") {
+			csf = f
+		}
+	}
+	want := []string{"Identify", "Protect", "Detect", "Respond", "Recover"}
+	if len(csf.Elements) != 5 {
+		t.Fatalf("CSF elements = %v", csf.Elements)
+	}
+	for i, e := range want {
+		if csf.Elements[i] != e {
+			t.Fatalf("CSF elements = %v", csf.Elements)
+		}
+	}
+}
+
+func TestPrincipleAssociation(t *testing.T) {
+	// Table I associates Respond and Recover with the same NIS
+	// principle (minimising impact).
+	if PrincipleFor(Respond) != PrincipleFor(Recover) {
+		t.Fatal("respond/recover principles differ")
+	}
+	if PrincipleFor(Identify) == PrincipleFor(Protect) {
+		t.Fatal("identify/protect principles should differ")
+	}
+	for _, f := range AllFunctions() {
+		if PrincipleFor(f) == "" {
+			t.Errorf("no principle for %v", f)
+		}
+	}
+	if PrincipleFor(Function(99)) != "" {
+		t.Fatal("bogus function got a principle")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Identify.String() != "IDENTIFY" || Recover.String() != "RECOVER" {
+		t.Fatal("function names")
+	}
+	if CategoryStandard.String() != "standard" || CategoryAcademic.String() != "academic" {
+		t.Fatal("category names")
+	}
+}

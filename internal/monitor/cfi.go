@@ -1,0 +1,115 @@
+package monitor
+
+import (
+	"fmt"
+
+	"cres/internal/hw"
+	"cres/internal/sim"
+)
+
+// Signature classes emitted by the CFI monitor.
+const (
+	SigCFIUnknownBlock = "cfi.unknown-block"
+	SigCFIInvalidEdge  = "cfi.invalid-edge"
+)
+
+// CFG is a program's expected control-flow graph: for each basic block,
+// the set of legal successor blocks. Entry blocks are successors of the
+// pseudo-block 0.
+type CFG map[hw.BlockID][]hw.BlockID
+
+// allows reports whether the edge from -> to is legal.
+func (g CFG) allows(from, to hw.BlockID) bool {
+	for _, s := range g[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// known reports whether the block appears in the graph (as a node or a
+// successor).
+func (g CFG) known(b hw.BlockID) bool {
+	if _, ok := g[b]; ok {
+		return true
+	}
+	for _, succs := range g {
+		for _, s := range succs {
+			if s == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CFIMonitor checks the stream of executed basic blocks against the
+// program's control-flow graph — static and dynamic flow integrity from
+// Table I's DETECT row (after Dover and ARMHEx). A block outside the
+// graph (injected code) or an illegal edge (hijacked control flow, e.g.
+// ROP) raises a Critical alert.
+//
+// It is an hw.ExecObserver; install with core.SubscribeExec.
+type CFIMonitor struct {
+	engine *sim.Engine
+	sink   Sink
+	cfg    CFG
+
+	last       map[string]hw.BlockID // per-core last executed block
+	blocks     uint64
+	violations uint64
+}
+
+var _ hw.ExecObserver = (*CFIMonitor)(nil)
+var _ Monitor = (*CFIMonitor)(nil)
+
+// NewCFIMonitor creates a CFI monitor for the given control-flow graph.
+func NewCFIMonitor(engine *sim.Engine, cfg CFG, sink Sink) (*CFIMonitor, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("monitor: cfi monitor needs a sink")
+	}
+	if len(cfg) == 0 {
+		return nil, fmt.Errorf("monitor: cfi monitor needs a control-flow graph")
+	}
+	return &CFIMonitor{engine: engine, sink: sink, cfg: cfg, last: make(map[string]hw.BlockID)}, nil
+}
+
+// Name implements Monitor.
+func (m *CFIMonitor) Name() string { return "cfi-monitor" }
+
+// ObserveExec implements hw.ExecObserver.
+func (m *CFIMonitor) ObserveExec(core string, block hw.BlockID, at sim.VirtualTime) {
+	m.blocks++
+	from := m.last[core]
+	m.last[core] = block
+
+	if !m.cfg.known(block) {
+		m.violations++
+		m.sink.HandleAlert(Alert{
+			At: at, Monitor: m.Name(), Resource: core, Severity: Critical,
+			Signature: SigCFIUnknownBlock,
+			Detail:    fmt.Sprintf("core %s executed unknown block %d (injected code)", core, block),
+		})
+		return
+	}
+	if !m.cfg.allows(from, block) {
+		m.violations++
+		m.sink.HandleAlert(Alert{
+			At: at, Monitor: m.Name(), Resource: core, Severity: Critical,
+			Signature: SigCFIInvalidEdge,
+			Detail:    fmt.Sprintf("core %s took illegal edge %d -> %d (control-flow hijack)", core, from, block),
+		})
+	}
+}
+
+// Reset clears the per-core edge state (after a core restart).
+func (m *CFIMonitor) Reset(core string) { delete(m.last, core) }
+
+// Snapshot implements Monitor.
+func (m *CFIMonitor) Snapshot() map[string]float64 {
+	return map[string]float64{
+		"blocks_total":     float64(m.blocks),
+		"violations_total": float64(m.violations),
+	}
+}

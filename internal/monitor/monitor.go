@@ -1,0 +1,170 @@
+// Package monitor implements the paper's Characteristic 2: Active Runtime
+// Resource Monitors. Each monitor watches one class of platform resource —
+// bus traffic, control flow, cache timing, environmental sensors, network
+// messages — producing fine-grained, resource-specific observations and
+// raising alerts toward the System Security Manager (package core).
+//
+// Detection combines the two classical methods the paper surveys under
+// the DETECT core security function: signature-based rules (known-bad
+// patterns such as security faults, invalid control-flow edges, replayed
+// nonces) and statistical anomaly detection (EWMA mean/variance with a
+// z-score threshold over per-resource rates).
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"cres/internal/sim"
+)
+
+// Severity grades an alert.
+type Severity uint8
+
+// Severities.
+const (
+	// Info marks routine but noteworthy events.
+	Info Severity = iota + 1
+	// Warning marks suspicious activity needing correlation.
+	Warning
+	// Critical marks confirmed malicious or integrity-violating activity.
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", uint8(s))
+	}
+}
+
+// Alert is a monitor finding reported to the security manager.
+type Alert struct {
+	// At is the virtual time of detection.
+	At sim.VirtualTime
+	// Monitor names the reporting monitor.
+	Monitor string
+	// Resource names the affected resource (initiator, region, core,
+	// sensor or peer).
+	Resource string
+	// Severity grades the finding.
+	Severity Severity
+	// Signature is the stable detection class, e.g. "bus.security-fault"
+	// or "cfi.invalid-edge"; anomaly detections use the ".anomaly"
+	// suffix.
+	Signature string
+	// Detail is a human-readable description.
+	Detail string
+	// Score is the anomaly z-score, or 0 for signature detections.
+	Score float64
+}
+
+// Sink receives alerts. The System Security Manager implements Sink.
+type Sink interface {
+	HandleAlert(Alert)
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(Alert)
+
+// HandleAlert implements Sink.
+func (f SinkFunc) HandleAlert(a Alert) { f(a) }
+
+var _ Sink = (SinkFunc)(nil)
+
+// Monitor is the common surface of all resource monitors, used by the
+// security manager for periodic observation sampling.
+type Monitor interface {
+	// Name returns the monitor's evidence source name.
+	Name() string
+	// Snapshot returns the monitor's current resource-specific gauges.
+	Snapshot() map[string]float64
+}
+
+// Anomaly is an exponentially weighted moving average detector with a
+// z-score threshold. It learns the resource's healthy behaviour during a
+// warm-up period and then scores each sample by its distance from the
+// learned mean in learned standard deviations.
+//
+// The zero value is not usable; create with NewAnomaly.
+type Anomaly struct {
+	alpha     float64
+	threshold float64
+	warmup    int
+
+	n     int
+	mean  float64
+	varr  float64
+	ready bool
+}
+
+// NewAnomaly creates a detector. alpha is the EWMA smoothing factor in
+// (0,1]; threshold is the z-score above which a sample is anomalous;
+// warmup is the number of samples used for learning before any sample
+// can be flagged.
+func NewAnomaly(alpha, threshold float64, warmup int) (*Anomaly, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("monitor: anomaly alpha %f out of (0,1]", alpha)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("monitor: anomaly threshold %f must be positive", threshold)
+	}
+	if warmup < 1 {
+		return nil, fmt.Errorf("monitor: anomaly warmup %d must be >= 1", warmup)
+	}
+	return &Anomaly{alpha: alpha, threshold: threshold, warmup: warmup}, nil
+}
+
+// Observe scores a sample and reports whether it is anomalous. During
+// warm-up the score is always 0 and the sample is absorbed into the
+// baseline. Anomalous samples are NOT absorbed, so a sustained attack
+// does not poison the learned baseline.
+func (a *Anomaly) Observe(x float64) (score float64, anomalous bool) {
+	if a.n < a.warmup {
+		a.absorb(x)
+		return 0, false
+	}
+	sd := math.Sqrt(a.varr)
+	if sd < 1e-9 {
+		// Degenerate baseline (constant signal): any deviation is
+		// anomalous, scored by absolute distance.
+		if math.Abs(x-a.mean) > 1e-9 {
+			return math.Abs(x - a.mean), true
+		}
+		a.absorb(x)
+		return 0, false
+	}
+	score = math.Abs(x-a.mean) / sd
+	if score >= a.threshold {
+		return score, true
+	}
+	a.absorb(x)
+	return score, false
+}
+
+func (a *Anomaly) absorb(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.mean = x
+		return
+	}
+	d := x - a.mean
+	a.mean += a.alpha * d
+	a.varr = (1 - a.alpha) * (a.varr + a.alpha*d*d)
+}
+
+// Ready reports whether warm-up has completed.
+func (a *Anomaly) Ready() bool { return a.n >= a.warmup }
+
+// Mean returns the learned baseline mean.
+func (a *Anomaly) Mean() float64 { return a.mean }
+
+// StdDev returns the learned baseline standard deviation.
+func (a *Anomaly) StdDev() float64 { return math.Sqrt(a.varr) }

@@ -1,0 +1,125 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" {
+		t.Fatal("severity names")
+	}
+}
+
+func TestNewAnomalyValidation(t *testing.T) {
+	cases := []struct {
+		alpha, thr float64
+		warmup     int
+	}{
+		{0, 3, 10},
+		{1.5, 3, 10},
+		{0.2, 0, 10},
+		{0.2, -1, 10},
+		{0.2, 3, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewAnomaly(c.alpha, c.thr, c.warmup); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnomalyWarmupNeverFlags(t *testing.T) {
+	det, err := NewAnomaly(0.2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// Wild values during warm-up are absorbed, not flagged.
+		if _, bad := det.Observe(float64(i * 1000)); bad {
+			t.Fatal("flagged during warm-up")
+		}
+	}
+	if !det.Ready() {
+		t.Fatal("not ready after warm-up")
+	}
+}
+
+func TestAnomalyDetectsSpike(t *testing.T) {
+	det, err := NewAnomaly(0.2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn a noisy baseline around 100.
+	vals := []float64{100, 102, 98, 101, 99, 103, 97, 100, 101, 99, 100, 102}
+	for _, v := range vals {
+		det.Observe(v)
+	}
+	score, bad := det.Observe(100)
+	if bad {
+		t.Fatalf("baseline value flagged (score %f)", score)
+	}
+	score, bad = det.Observe(500)
+	if !bad {
+		t.Fatalf("5x spike not flagged (score %f)", score)
+	}
+	if score < 4 {
+		t.Fatalf("spike score %f below threshold", score)
+	}
+}
+
+func TestAnomalyDoesNotPoisonBaseline(t *testing.T) {
+	det, err := NewAnomaly(0.2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{100, 102, 98, 101, 99, 103, 97, 100} {
+		det.Observe(v)
+	}
+	meanBefore := det.Mean()
+	// Sustained attack: anomalous samples must not shift the baseline.
+	for i := 0; i < 50; i++ {
+		if _, bad := det.Observe(1000); !bad {
+			t.Fatal("sustained attack stopped being flagged (baseline poisoned)")
+		}
+	}
+	if math.Abs(det.Mean()-meanBefore) > 1e-9 {
+		t.Fatalf("baseline moved from %f to %f under attack", meanBefore, det.Mean())
+	}
+}
+
+func TestAnomalyConstantBaseline(t *testing.T) {
+	det, err := NewAnomaly(0.2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		det.Observe(42)
+	}
+	if _, bad := det.Observe(42); bad {
+		t.Fatal("constant value flagged on constant baseline")
+	}
+	if _, bad := det.Observe(43); !bad {
+		t.Fatal("deviation from constant baseline not flagged")
+	}
+}
+
+// Property: samples equal to the learned mean are never anomalous.
+func TestPropertyMeanNeverAnomalous(t *testing.T) {
+	f := func(base uint16) bool {
+		det, err := NewAnomaly(0.2, 3, 4)
+		if err != nil {
+			return false
+		}
+		v := float64(base)
+		for i := 0; i < 8; i++ {
+			det.Observe(v)
+		}
+		_, bad := det.Observe(v)
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cres/internal/hw"
+	"cres/internal/sim"
+)
+
+func TestActionString(t *testing.T) {
+	if ActionAll.String() != "read|write|exec" {
+		t.Fatalf("ActionAll = %q", ActionAll.String())
+	}
+	if Action(0).String() != "none" {
+		t.Fatal("zero action string")
+	}
+	if ActionRead.String() != "read" {
+		t.Fatal("read string")
+	}
+}
+
+func TestActionFromTx(t *testing.T) {
+	cases := map[hw.TxKind]Action{
+		hw.TxRead:  ActionRead,
+		hw.TxWrite: ActionWrite,
+		hw.TxExec:  ActionExec,
+	}
+	for k, want := range cases {
+		if got := ActionFromTx(k); got != want {
+			t.Errorf("ActionFromTx(%v) = %v, want %v", k, got, want)
+		}
+	}
+	if ActionFromTx(hw.TxKind(99)) != 0 {
+		t.Fatal("unknown kind mapped to action")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewSet("p", false)
+	bad := []Rule{
+		{Subject: "a", Object: "b", Actions: ActionRead, Effect: Allow},           // no name
+		{Name: "r", Object: "b", Actions: ActionRead, Effect: Allow},              // no subject
+		{Name: "r", Subject: "a", Actions: ActionRead, Effect: Allow},             // no object
+		{Name: "r", Subject: "a", Object: "b", Effect: Allow},                     // no actions
+		{Name: "r", Subject: "a", Object: "b", Actions: ActionRead},               // no effect
+		{Name: "r", Subject: "a", Object: "b", Actions: ActionRead, Effect: 0xff}, // bad effect
+	}
+	for i, r := range bad {
+		if err := s.Add(r); err == nil {
+			t.Errorf("rule %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, s *Set, r Rule) {
+	t.Helper()
+	if err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateFirstMatchByPriority(t *testing.T) {
+	s := NewSet("p", false)
+	mustAdd(t, s, Rule{Name: "allow-all", Subject: "*", Object: "*", Actions: ActionAll, Effect: Allow, Priority: 0})
+	mustAdd(t, s, Rule{Name: "deny-dma-secure", Subject: "dma*", Object: "secure-sram", Actions: ActionAll, Effect: Deny, Priority: 10})
+
+	d := s.Evaluate("dma0", "secure-sram", ActionRead)
+	if d.Effect != Deny || d.Rule != "deny-dma-secure" {
+		t.Fatalf("decision = %+v", d)
+	}
+	d = s.Evaluate("app-core", "secure-sram", ActionRead)
+	if d.Effect != Allow || d.Rule != "allow-all" {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestEvaluateDefaultPosture(t *testing.T) {
+	deny := NewSet("hardened", false)
+	if d := deny.Evaluate("x", "y", ActionRead); d.Effect != Deny || d.Rule != "" {
+		t.Fatalf("default-deny decision = %+v", d)
+	}
+	allow := NewSet("legacy", true)
+	if d := allow.Evaluate("x", "y", ActionRead); d.Effect != Allow {
+		t.Fatalf("default-allow decision = %+v", d)
+	}
+}
+
+func TestEvaluateActionMask(t *testing.T) {
+	s := NewSet("p", true)
+	mustAdd(t, s, Rule{Name: "ro", Subject: "app-core", Object: "config", Actions: ActionWrite | ActionExec, Effect: Deny, Priority: 1})
+	if d := s.Evaluate("app-core", "config", ActionRead); d.Effect != Allow {
+		t.Fatalf("read should fall through: %+v", d)
+	}
+	if d := s.Evaluate("app-core", "config", ActionWrite); d.Effect != Deny {
+		t.Fatalf("write should deny: %+v", d)
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	s := NewSet("p", false)
+	mustAdd(t, s, Rule{Name: "w", Subject: "sensor-*", Object: "*", Actions: ActionAll, Effect: Allow, Priority: 1})
+	if d := s.Evaluate("sensor-7", "anything", ActionRead); d.Effect != Allow {
+		t.Fatal("prefix wildcard failed")
+	}
+	if d := s.Evaluate("actuator-1", "anything", ActionRead); d.Effect != Deny {
+		t.Fatal("non-matching subject allowed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSet("p", false)
+	s.Evaluate("a", "b", ActionRead)
+	s.Evaluate("a", "b", ActionRead)
+	ev, den := s.Stats()
+	if ev != 2 || den != 2 {
+		t.Fatalf("stats = %d, %d", ev, den)
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a := NewSet("p", false)
+	mustAdd(t, a, Rule{Name: "r", Subject: "s", Object: "o", Actions: ActionRead, Effect: Allow, Priority: 1})
+	b := NewSet("p", false)
+	mustAdd(t, b, Rule{Name: "r", Subject: "s", Object: "o", Actions: ActionRead, Effect: Deny, Priority: 1})
+	if a.Digest() == b.Digest() {
+		t.Fatal("different effects, same digest")
+	}
+	c := NewSet("p", true)
+	mustAdd(t, c, Rule{Name: "r", Subject: "s", Object: "o", Actions: ActionRead, Effect: Allow, Priority: 1})
+	if a.Digest() == c.Digest() {
+		t.Fatal("different default posture, same digest")
+	}
+	a2 := NewSet("p", false)
+	mustAdd(t, a2, Rule{Name: "r", Subject: "s", Object: "o", Actions: ActionRead, Effect: Allow, Priority: 1})
+	if a.Digest() != a2.Digest() {
+		t.Fatal("identical sets, different digests")
+	}
+}
+
+func TestGateEnforcesOnBus(t *testing.T) {
+	e := sim.New(1)
+	soc, err := hw.NewSoC(e, hw.SoCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet("bus-policy", true)
+	mustAdd(t, s, Rule{Name: "no-dma-to-sram", Subject: "dma0", Object: hw.RegionSRAM, Actions: ActionWrite, Effect: Deny, Priority: 5})
+
+	var violations []Violation
+	soc.Bus.AddGate(s.Gate(soc.Mem, func(v Violation) { violations = append(violations, v) }))
+
+	// App core writes: allowed.
+	if err := soc.AppCore.Write(hw.AddrSRAM, []byte{1}); err != nil {
+		t.Fatalf("app core write denied: %v", err)
+	}
+	// DMA writes to SRAM: denied by policy.
+	var dmaErr error
+	soc.DMA.Transfer(hw.AddrSlotA, hw.AddrSRAM, 16, func(err error) { dmaErr = err })
+	e.Drain(100)
+	if dmaErr == nil {
+		t.Fatal("policy did not block DMA write")
+	}
+	if len(violations) == 0 {
+		t.Fatal("violation not reported")
+	}
+	if violations[0].Rule != "no-dma-to-sram" {
+		t.Fatalf("violation rule = %q", violations[0].Rule)
+	}
+	if violations[0].Tx.Initiator != "dma0" {
+		t.Fatalf("violation initiator = %q", violations[0].Tx.Initiator)
+	}
+}
+
+func TestGateUnmappedObject(t *testing.T) {
+	e := sim.New(1)
+	soc, err := hw.NewSoC(e, hw.SoCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet("p", true) // default allow: unmapped object falls through to memory fault
+	soc.Bus.AddGate(s.Gate(soc.Mem, nil))
+	_, rerr := soc.AppCore.Read(0xdead_0000, 4)
+	if rerr == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	if f, ok := hw.AsFault(rerr); !ok || f.Code != hw.FaultUnmapped {
+		t.Fatalf("fault = %v, want unmapped", rerr)
+	}
+}
+
+// Property: evaluation is deterministic and default-deny sets never
+// return Allow without a matching allow rule.
+func TestPropertyDefaultDenySoundness(t *testing.T) {
+	f := func(subjects, objects []string, pick uint8) bool {
+		s := NewSet("p", false)
+		for i, sub := range subjects {
+			if sub == "" || i >= len(objects) || objects[i] == "" {
+				continue
+			}
+			_ = s.Add(Rule{
+				Name: "r", Subject: sub, Object: objects[i],
+				Actions: ActionAll, Effect: Deny, Priority: i,
+			})
+		}
+		// With only deny rules, any evaluation must deny.
+		sub, obj := "q-subject", "q-object"
+		if len(subjects) > 0 {
+			sub = subjects[int(pick)%len(subjects)]
+		}
+		if len(objects) > 0 {
+			obj = objects[int(pick)%len(objects)]
+		}
+		return s.Evaluate(sub, obj, ActionRead).Effect == Deny
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

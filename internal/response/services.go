@@ -1,0 +1,218 @@
+package response
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Service is one device function, e.g. "grid-protection" or "telemetry".
+// Critical services are those the device must keep alive under attack;
+// graceful degradation sacrifices non-critical services first.
+type Service struct {
+	// Name identifies the service.
+	Name string
+	// Critical marks services that must survive degradation.
+	Critical bool
+	// Resources lists the platform resources (bus initiators, cores,
+	// actuators) the service depends on.
+	Resources []string
+	// Fallbacks lists alternative resources that can substitute for any
+	// lost primary resource (static redundancy, Table I recovery row).
+	Fallbacks []string
+}
+
+// ErrUnknownService reports a lookup of an unregistered service.
+var ErrUnknownService = errors.New("response: unknown service")
+
+// serviceState tracks a service's runtime condition.
+type serviceState struct {
+	svc        Service
+	up         bool
+	usingSpare bool
+}
+
+// Degrader is the graceful-degradation controller: it maps resource
+// outages (isolations, halts) to the minimal set of service stops,
+// keeping critical services alive on fallback resources where possible.
+// The zero value is not usable; create with NewDegrader.
+type Degrader struct {
+	services map[string]*serviceState
+	downRes  map[string]bool
+}
+
+// NewDegrader creates a controller over the given services. All services
+// start up.
+func NewDegrader(services []Service) (*Degrader, error) {
+	d := &Degrader{
+		services: make(map[string]*serviceState, len(services)),
+		downRes:  make(map[string]bool),
+	}
+	for _, s := range services {
+		if s.Name == "" {
+			return nil, errors.New("response: service needs a name")
+		}
+		if _, dup := d.services[s.Name]; dup {
+			return nil, fmt.Errorf("response: duplicate service %q", s.Name)
+		}
+		s.Resources = append([]string(nil), s.Resources...)
+		s.Fallbacks = append([]string(nil), s.Fallbacks...)
+		d.services[s.Name] = &serviceState{svc: s, up: true}
+	}
+	return d, nil
+}
+
+// ResourceDown marks a platform resource as unavailable and recomputes
+// service states. It returns the names of services that went down as a
+// result (already-down services are not repeated).
+func (d *Degrader) ResourceDown(resource string) []string {
+	d.downRes[resource] = true
+	return d.recompute()
+}
+
+// ResourceUp marks a resource as available again and returns the names
+// of services restored.
+func (d *Degrader) ResourceUp(resource string) []string {
+	delete(d.downRes, resource)
+	var restored []string
+	for name, st := range d.services {
+		if st.up {
+			continue
+		}
+		if d.feasible(st) {
+			st.up = true
+			restored = append(restored, name)
+		}
+	}
+	sort.Strings(restored)
+	return restored
+}
+
+// recompute re-evaluates every service after a resource loss.
+func (d *Degrader) recompute() []string {
+	var stopped []string
+	for name, st := range d.services {
+		if !st.up {
+			continue
+		}
+		if d.feasible(st) {
+			continue
+		}
+		st.up = false
+		stopped = append(stopped, name)
+	}
+	sort.Strings(stopped)
+	return stopped
+}
+
+// feasible reports whether the service can run given current outages,
+// accounting for fallbacks on critical services. Fallback substitution
+// is only granted to critical services: non-critical services are shed
+// to preserve spare capacity — that is the degradation policy.
+func (d *Degrader) feasible(st *serviceState) bool {
+	lost := 0
+	for _, r := range st.svc.Resources {
+		if d.downRes[r] {
+			lost++
+		}
+	}
+	if lost == 0 {
+		st.usingSpare = false
+		return true
+	}
+	if !st.svc.Critical {
+		return false
+	}
+	// Critical service: count usable fallbacks.
+	usable := 0
+	for _, f := range st.svc.Fallbacks {
+		if !d.downRes[f] {
+			usable++
+		}
+	}
+	if usable >= lost {
+		st.usingSpare = true
+		return true
+	}
+	return false
+}
+
+// Up reports whether the named service is running.
+func (d *Degrader) Up(name string) (bool, error) {
+	st, ok := d.services[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	return st.up, nil
+}
+
+// UsingFallback reports whether the service is running on spare
+// resources.
+func (d *Degrader) UsingFallback(name string) (bool, error) {
+	st, ok := d.services[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	return st.up && st.usingSpare, nil
+}
+
+// Snapshot returns the up/down state of every service.
+func (d *Degrader) Snapshot() map[string]bool {
+	out := make(map[string]bool, len(d.services))
+	for name, st := range d.services {
+		out[name] = st.up
+	}
+	return out
+}
+
+// CriticalUp reports whether every critical service is running.
+func (d *Degrader) CriticalUp() bool {
+	for _, st := range d.services {
+		if st.svc.Critical && !st.up {
+			return false
+		}
+	}
+	return true
+}
+
+// UpCount returns (upCritical, upTotal, total).
+func (d *Degrader) UpCount() (critical, up, total int) {
+	for _, st := range d.services {
+		total++
+		if st.up {
+			up++
+			if st.svc.Critical {
+				critical++
+			}
+		}
+	}
+	return critical, up, total
+}
+
+// StopAll marks every service down (a device reboot). Returns stopped
+// service names.
+func (d *Degrader) StopAll() []string {
+	var stopped []string
+	for name, st := range d.services {
+		if st.up {
+			st.up = false
+			stopped = append(stopped, name)
+		}
+	}
+	sort.Strings(stopped)
+	return stopped
+}
+
+// StartAll restores every service whose resources are available (the end
+// of a reboot). Returns restored service names.
+func (d *Degrader) StartAll() []string {
+	var started []string
+	for name, st := range d.services {
+		if !st.up && d.feasible(st) {
+			st.up = true
+			started = append(started, name)
+		}
+	}
+	sort.Strings(started)
+	return started
+}

@@ -1,0 +1,299 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every other substrate in this repository (the SoC hardware model, the
+// M2M network, the attack injector, the runtime monitors) advances virtual
+// time exclusively through an Engine. All randomness flows from the
+// Engine's seeded RNG, so a simulation run is reproducible bit-for-bit
+// given the same seed and the same schedule of calls.
+//
+// The kernel is intentionally single-threaded: the paper's argument is
+// about architecture (who observes what, who is isolated from whom), not
+// about wall-clock concurrency, and a single-threaded event loop keeps
+// every experiment deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// VirtualTime is an instant of simulated time, measured in nanoseconds
+// since simulation start (device power-on).
+type VirtualTime int64
+
+// Add returns the instant d after t.
+func (t VirtualTime) Add(d time.Duration) VirtualTime { return t + VirtualTime(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t VirtualTime) Sub(u VirtualTime) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the instant to a duration since simulation start.
+func (t VirtualTime) Duration() time.Duration { return time.Duration(t) }
+
+// String renders the instant as a duration since power-on, e.g. "1.5ms".
+func (t VirtualTime) String() string { return time.Duration(t).String() }
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// event is a pending callback in the event queue. Events fire in
+// (time, seq) order; seq breaks ties deterministically in FIFO order.
+type event struct {
+	at        VirtualTime
+	seq       uint64
+	id        EventID
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+// eventQueue implements heap.Interface over pending events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrPastTime reports an attempt to schedule an event before the current
+// virtual time.
+var ErrPastTime = errors.New("sim: schedule time is in the past")
+
+// Engine is a deterministic discrete-event scheduler with a virtual clock
+// and a seeded random number generator.
+//
+// An Engine must be created with New; the zero value is not usable.
+type Engine struct {
+	now     VirtualTime
+	queue   eventQueue
+	pending map[EventID]*event
+	nextSeq uint64
+	nextID  EventID
+	rng     *rand.Rand
+	trace   func(TraceEvent)
+	steps   uint64
+}
+
+// TraceEvent describes one dispatched event, for debug tracing.
+type TraceEvent struct {
+	At  VirtualTime
+	ID  EventID
+	Seq uint64
+}
+
+// New returns an Engine whose RNG is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		pending: make(map[EventID]*event),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() VirtualTime { return e.now }
+
+// Steps returns the number of events dispatched so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// RNG returns the engine's deterministic random source. All simulation
+// randomness must come from here to preserve reproducibility.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// SetTrace installs fn as the dispatch trace hook. Pass nil to disable.
+func (e *Engine) SetTrace(fn func(TraceEvent)) { e.trace = fn }
+
+// Schedule arranges for fn to run after delay. A negative delay is an
+// error; a zero delay runs fn on the next Step, after events already
+// queued for the current instant.
+func (e *Engine) Schedule(delay time.Duration, fn func()) (EventID, error) {
+	if delay < 0 {
+		return 0, fmt.Errorf("sim: negative delay %v: %w", delay, ErrPastTime)
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt arranges for fn to run at instant at.
+func (e *Engine) ScheduleAt(at VirtualTime, fn func()) (EventID, error) {
+	if at < e.now {
+		return 0, fmt.Errorf("sim: at=%v now=%v: %w", at, e.now, ErrPastTime)
+	}
+	if fn == nil {
+		return 0, errors.New("sim: nil event function")
+	}
+	e.nextID++
+	e.nextSeq++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
+	return ev.id, nil
+}
+
+// MustSchedule is Schedule but panics on error. It is intended for fixed
+// non-negative delays where an error is a programming bug.
+func (e *Engine) MustSchedule(delay time.Duration, fn func()) EventID {
+	id, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already ran, was cancelled, or never existed).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	delete(e.pending, id)
+	ev.cancelled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+	return true
+}
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Step dispatches the next event, advancing the clock to its instant.
+// It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.at
+		e.steps++
+		if e.trace != nil {
+			e.trace(TraceEvent{At: ev.at, ID: ev.id, Seq: ev.seq})
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// lies beyond deadline. The clock is left at the later of its current
+// value and deadline.
+func (e *Engine) RunUntil(deadline VirtualTime) {
+	for e.queue.Len() > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Drain dispatches every pending event, up to limit dispatches (a safety
+// valve against runaway self-rescheduling). It returns the number of
+// events dispatched.
+func (e *Engine) Drain(limit uint64) uint64 {
+	var n uint64
+	for n < limit && e.Step() {
+		n++
+	}
+	return n
+}
+
+func (e *Engine) peek() *event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Ticker invokes a callback periodically until stopped. It is the
+// building block for sampling monitors and heartbeats.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func(VirtualTime)
+	id      EventID
+	stopped bool
+}
+
+// NewTicker starts a ticker on engine with the given period. The first
+// tick fires one period from now. The callback receives the tick instant.
+func NewTicker(engine *Engine, period time.Duration, fn func(VirtualTime)) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period %v must be positive", period)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil ticker function")
+	}
+	t := &Ticker{engine: engine, period: period, fn: fn}
+	t.arm()
+	return t, nil
+}
+
+func (t *Ticker) arm() {
+	t.id = t.engine.MustSchedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call more than once.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.id)
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

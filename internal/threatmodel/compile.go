@@ -1,0 +1,132 @@
+package threatmodel
+
+import (
+	"fmt"
+
+	"cres/internal/hw"
+	"cres/internal/monitor"
+	"cres/internal/policy"
+)
+
+// DeviceMap tells the compiler how the abstract threat model maps onto
+// the concrete platform: which regions hold firmware, which initiators
+// are allowed to touch them, and so on.
+type DeviceMap struct {
+	// FirmwareRegions are the flash regions holding bootable images.
+	FirmwareRegions []string
+	// UpdaterInitiators are the only initiators allowed to write
+	// firmware regions.
+	UpdaterInitiators []string
+	// SecureRegions hold secrets; DMA must never touch them.
+	SecureRegions []string
+	// DMAInitiators are the platform's DMA masters.
+	DMAInitiators []string
+	// ProvisionedWorlds maps initiators to their legitimate worlds for
+	// bus-attribute cross-checking.
+	ProvisionedWorlds map[string]hw.World
+}
+
+// Controls is the enforceable output of threat-model compilation: the
+// concrete configuration of the policy engine and the runtime monitors
+// that addresses the identified threats. This closes the loop the paper
+// describes in Section III-1: identification feeds deployment of
+// countermeasures.
+type Controls struct {
+	// PolicyRules configure the bus policy gate.
+	PolicyRules []policy.Rule
+	// Watchpoints configure the bus monitor.
+	Watchpoints []monitor.Watchpoint
+	// BusWorlds configures bus-attribute cross-checking.
+	BusWorlds map[string]hw.World
+	// EnableRateDetection requests bus/network rate anomaly detection
+	// (set when denial-of-service threats were identified).
+	EnableRateDetection bool
+	// EnableTimingMonitor requests cache-timing monitoring (set when
+	// information-disclosure threats were identified).
+	EnableTimingMonitor bool
+	// EnableEnvMonitor requests environmental monitoring (set when
+	// physical-tampering threats were identified).
+	EnableEnvMonitor bool
+	// EnableCFI requests control-flow integrity monitoring (set when
+	// elevation-of-privilege threats were identified).
+	EnableCFI bool
+	// Rationale maps each produced control to the threat IDs it
+	// addresses.
+	Rationale map[string][]string
+}
+
+// Compile derives Controls from the model's identified threats. Threats
+// must have been added (manually or via EnumerateSTRIDE) first.
+func Compile(m *Model, dm DeviceMap) (*Controls, error) {
+	if len(m.Threats()) == 0 {
+		return nil, fmt.Errorf("threatmodel: compile with no identified threats")
+	}
+	c := &Controls{
+		BusWorlds: make(map[string]hw.World),
+		Rationale: make(map[string][]string),
+	}
+	note := func(control string, threatID string) {
+		c.Rationale[control] = append(c.Rationale[control], threatID)
+	}
+
+	seenWatchpoint := make(map[string]bool)
+	seenRule := make(map[string]bool)
+
+	for _, th := range m.Threats() {
+		switch th.Category {
+		case Tampering:
+			// Firmware tampering -> write watchpoints on every
+			// firmware region, allowing only the updaters.
+			for _, region := range dm.FirmwareRegions {
+				if !seenWatchpoint[region] {
+					seenWatchpoint[region] = true
+					c.Watchpoints = append(c.Watchpoints, monitor.Watchpoint{
+						Region:  region,
+						Kinds:   []hw.TxKind{hw.TxWrite},
+						Allowed: append([]string(nil), dm.UpdaterInitiators...),
+					})
+				}
+				note("watchpoint:"+region, th.ID)
+			}
+			c.EnableEnvMonitor = true
+			note("env-monitor", th.ID)
+		case ElevationOfPrivilege:
+			// Privilege escalation -> deny DMA into secure regions,
+			// cross-check bus attributes, watch control flow.
+			for _, dma := range dm.DMAInitiators {
+				for _, region := range dm.SecureRegions {
+					key := dma + "|" + region
+					if !seenRule[key] {
+						seenRule[key] = true
+						c.PolicyRules = append(c.PolicyRules, policy.Rule{
+							Name:     fmt.Sprintf("deny-%s-to-%s", dma, region),
+							Subject:  dma,
+							Object:   region,
+							Actions:  policy.ActionAll,
+							Effect:   policy.Deny,
+							Priority: 10,
+						})
+					}
+					note("policy:"+key, th.ID)
+				}
+			}
+			for init, world := range dm.ProvisionedWorlds {
+				c.BusWorlds[init] = world
+			}
+			c.EnableCFI = true
+			note("cfi-monitor", th.ID)
+		case DenialOfService:
+			c.EnableRateDetection = true
+			note("rate-detection", th.ID)
+		case InformationDisclosure:
+			c.EnableTimingMonitor = true
+			note("timing-monitor", th.ID)
+		case Spoofing, Repudiation:
+			// Addressed by message authentication and the evidence log,
+			// which are unconditional platform features; record the
+			// rationale anyway.
+			note("m2m-auth+evidence", th.ID)
+		}
+	}
+	return c, nil
+}

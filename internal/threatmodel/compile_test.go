@@ -1,0 +1,138 @@
+package threatmodel
+
+import (
+	"testing"
+
+	"cres/internal/hw"
+	"cres/internal/policy"
+)
+
+func refDeviceMap() DeviceMap {
+	return DeviceMap{
+		FirmwareRegions:   []string{hw.RegionSlotA, hw.RegionSlotB},
+		UpdaterInitiators: []string{"updater"},
+		SecureRegions:     []string{hw.RegionSecureSRAM},
+		DMAInitiators:     []string{"dma0"},
+		ProvisionedWorlds: map[string]hw.World{
+			"app-core": hw.WorldNormal,
+			"dma0":     hw.WorldNormal,
+		},
+	}
+}
+
+func fullModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	if err := m.AddAsset(Asset{
+		Name: "device", Criticality: 5,
+		Interfaces: []Interface{IfaceBus, IfaceNetwork, IfaceFirmware, IfacePhysical, IfaceCache, IfaceActuator},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnumerateSTRIDE("device"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompileEmptyModelRejected(t *testing.T) {
+	m := NewModel()
+	if _, err := Compile(m, refDeviceMap()); err == nil {
+		t.Fatal("empty model compiled")
+	}
+}
+
+func TestCompileFullModel(t *testing.T) {
+	m := fullModel(t)
+	c, err := Compile(m, refDeviceMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampering threats -> firmware watchpoints (both slots, updater
+	// allowed).
+	if len(c.Watchpoints) != 2 {
+		t.Fatalf("watchpoints = %+v", c.Watchpoints)
+	}
+	for _, wp := range c.Watchpoints {
+		if len(wp.Allowed) != 1 || wp.Allowed[0] != "updater" {
+			t.Fatalf("watchpoint allowed = %v", wp.Allowed)
+		}
+	}
+	// Elevation threats -> DMA deny rule and bus worlds and CFI.
+	if len(c.PolicyRules) != 1 {
+		t.Fatalf("rules = %+v", c.PolicyRules)
+	}
+	if c.PolicyRules[0].Effect != policy.Deny || c.PolicyRules[0].Subject != "dma0" {
+		t.Fatalf("rule = %+v", c.PolicyRules[0])
+	}
+	if len(c.BusWorlds) != 2 {
+		t.Fatalf("bus worlds = %v", c.BusWorlds)
+	}
+	if !c.EnableCFI || !c.EnableRateDetection || !c.EnableTimingMonitor || !c.EnableEnvMonitor {
+		t.Fatalf("controls flags = %+v", c)
+	}
+	// Every control has a rationale tracing back to threat IDs.
+	for control, ids := range c.Rationale {
+		if len(ids) == 0 {
+			t.Errorf("control %s has no rationale", control)
+		}
+	}
+}
+
+func TestCompileDeduplicates(t *testing.T) {
+	m := NewModel()
+	m.AddAsset(Asset{Name: "fw", Criticality: 5, Interfaces: []Interface{IfaceFirmware}})
+	m.AddAsset(Asset{Name: "cfg", Criticality: 4, Interfaces: []Interface{IfaceFirmware}})
+	m.EnumerateSTRIDE("fw")
+	m.EnumerateSTRIDE("cfg")
+	c, err := Compile(m, refDeviceMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two assets, both firmware-tampering: watchpoints must not repeat.
+	if len(c.Watchpoints) != 2 { // slot A and slot B, once each
+		t.Fatalf("watchpoints = %+v", c.Watchpoints)
+	}
+	// But the rationale records all contributing threats.
+	ids := c.Rationale["watchpoint:"+hw.RegionSlotA]
+	if len(ids) < 2 {
+		t.Fatalf("rationale = %v", ids)
+	}
+}
+
+func TestCompilePolicyRulesAreValid(t *testing.T) {
+	m := fullModel(t)
+	c, err := Compile(m, refDeviceMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := policy.NewSet("compiled", true)
+	for _, r := range c.PolicyRules {
+		if err := set.Add(r); err != nil {
+			t.Fatalf("compiled rule invalid: %v", err)
+		}
+	}
+	d := set.Evaluate("dma0", hw.RegionSecureSRAM, policy.ActionRead)
+	if d.Effect != policy.Deny {
+		t.Fatalf("compiled policy does not deny: %+v", d)
+	}
+}
+
+func TestCompileSpoofingOnlyModel(t *testing.T) {
+	m := NewModel()
+	m.AddAsset(Asset{Name: "link", Criticality: 3, Interfaces: []Interface{IfaceNetwork}})
+	m.EnumerateSTRIDE("link")
+	c, err := Compile(m, refDeviceMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Network threats include DoS -> rate detection; tampering of
+	// messages is handled by auth (rationale only) but network
+	// tampering also pulls env monitor per the Tampering branch.
+	if !c.EnableRateDetection {
+		t.Fatal("network DoS threat did not enable rate detection")
+	}
+	if len(c.Rationale["m2m-auth+evidence"]) == 0 {
+		t.Fatal("spoofing rationale missing")
+	}
+}

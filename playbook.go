@@ -1,0 +1,144 @@
+package cres
+
+import (
+	"fmt"
+
+	"cres/internal/core"
+	"cres/internal/monitor"
+)
+
+// installPlaybook wires the default response strategy: which monitor
+// signature triggers which active countermeasure. This is the concrete
+// form of the paper's "response and recovery strategies initiated by the
+// System Security Manager" (Section V, Characteristic 3).
+func (d *Device) installPlaybook() error {
+	// isolate quarantines an initiator and sheds dependent services.
+	isolate := func(resource, reason string) (string, error) {
+		if d.Responder.IsIsolated(resource) {
+			return fmt.Sprintf("%s already isolated", resource), nil
+		}
+		if err := d.Responder.IsolateInitiator(resource, reason); err != nil {
+			return "", err
+		}
+		stopped := d.Degrader.ResourceDown(resource)
+		return fmt.Sprintf("isolated %s; services shed: %v; critical up: %v",
+			resource, stopped, d.Degrader.CriticalUp()), nil
+	}
+
+	plays := []core.Play{
+		{
+			Name:            "isolate-on-watchpoint",
+			SignaturePrefix: monitor.SigBusWatchpoint,
+			MinSeverity:     monitor.Critical,
+			Respond: func(a monitor.Alert) (string, error) {
+				return isolate(a.Resource, "watched-region tamper: "+a.Detail)
+			},
+		},
+		{
+			Name:            "isolate-on-security-fault",
+			SignaturePrefix: monitor.SigBusSecurityFault,
+			MinSeverity:     monitor.Critical,
+			Respond: func(a monitor.Alert) (string, error) {
+				return isolate(a.Resource, "secure-region probing: "+a.Detail)
+			},
+		},
+		{
+			Name:            "isolate-on-world-mismatch",
+			SignaturePrefix: monitor.SigBusWorldMismatch,
+			MinSeverity:     monitor.Critical,
+			Respond: func(a monitor.Alert) (string, error) {
+				// The bus itself is compromised: isolate the initiator
+				// whose attribute was forged AND purge shared state the
+				// attacker may have touched.
+				desc, err := isolate(a.Resource, "bus attribute tampering: "+a.Detail)
+				if err != nil {
+					return "", err
+				}
+				d.Responder.FlushCache("purge after bus attribute tampering")
+				return desc + "; cache flushed", nil
+			},
+		},
+		{
+			Name:            "contain-on-cfi",
+			SignaturePrefix: "cfi.",
+			MinSeverity:     monitor.Critical,
+			Respond: func(a monitor.Alert) (string, error) {
+				// Code execution on the core is attacker-controlled:
+				// halt the core outright, isolate its bus port, shed
+				// its services onto fallbacks.
+				if a.Resource == d.SoC.AppCore.Name() {
+					d.Responder.HaltCore(d.SoC.AppCore, "control-flow integrity violation")
+				}
+				return isolate(a.Resource, "control-flow hijack: "+a.Detail)
+			},
+		},
+		{
+			Name:            "partition-on-covert-channel",
+			SignaturePrefix: monitor.SigTimingCrossWorld,
+			MinSeverity:     monitor.Critical,
+			Respond: func(monitor.Alert) (string, error) {
+				d.Responder.FlushCache("covert channel detected")
+				d.Responder.PartitionCache("close cross-world eviction channel")
+				return "cache flushed and world-partitioned", nil
+			},
+		},
+		{
+			Name:            "failsafe-on-env",
+			SignaturePrefix: monitor.SigEnvOutOfBand,
+			MinSeverity:     monitor.Critical,
+			Respond: func(a monitor.Alert) (string, error) {
+				// Physical tampering in progress: drive actuators to
+				// their fail-safe values until the environment clears.
+				for _, act := range d.Actuators {
+					d.Responder.LockActuator(act, "environmental tamper: "+a.Detail)
+				}
+				return fmt.Sprintf("%d actuators locked to fail-safe", len(d.Actuators)), nil
+			},
+		},
+		{
+			Name:            "throttle-on-flood",
+			SignaturePrefix: monitor.SigBusRateAnomaly,
+			MinSeverity:     monitor.Warning,
+			Respond: func(a monitor.Alert) (string, error) {
+				return isolate(a.Resource, "bus flooding: "+a.Detail)
+			},
+		},
+	}
+	for _, p := range plays {
+		if err := d.SSM.AddPlay(p); err != nil {
+			return fmt.Errorf("cres: playbook: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recover restores an isolated initiator and re-arms its plays — the
+// device-level recovery flow after firmware repair or operator action.
+func (d *Device) Recover(resource, detail string) error {
+	if d.SSM == nil {
+		return fmt.Errorf("cres: baseline architecture has no targeted recovery")
+	}
+	d.SSM.RecordRecovery(fmt.Sprintf("recovering %s: %s", resource, detail))
+	if d.Responder.IsIsolated(resource) {
+		if err := d.Responder.RestoreInitiator(resource, detail); err != nil {
+			return err
+		}
+	}
+	if resource == d.SoC.AppCore.Name() {
+		if d.SoC.AppCore.Halted() {
+			d.Responder.ResumeCore(d.SoC.AppCore, detail)
+		}
+		if d.CFIMon != nil {
+			d.CFIMon.Reset(resource)
+		}
+	}
+	restored := d.Degrader.ResourceUp(resource)
+	for _, play := range []string{
+		"isolate-on-watchpoint", "isolate-on-security-fault", "isolate-on-world-mismatch",
+		"contain-on-cfi", "throttle-on-flood",
+	} {
+		d.SSM.ResetPlay(play, resource)
+	}
+	d.SSM.MarkRecovered(fmt.Sprintf("%s restored; services back: %v", resource, restored))
+	return nil
+}

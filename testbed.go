@@ -1,0 +1,38 @@
+package cres
+
+import (
+	"time"
+
+	"cres/internal/attack"
+	"cres/internal/m2m"
+)
+
+// AttackTestbed is a ready-to-attack device rig: a device of the chosen
+// architecture with a network operator peer, a provisioned TEE secret
+// and a loaded trustlet — everything the full attack suite needs. The
+// cresim CLI and the examples build on it.
+type AttackTestbed struct {
+	tb *testbed
+}
+
+// NewAttackTestbed assembles and boots a testbed.
+func NewAttackTestbed(arch Architecture, seed int64) (*AttackTestbed, error) {
+	tb, err := newTestbed(arch, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AttackTestbed{tb: tb}, nil
+}
+
+// Device returns the device under test.
+func (t *AttackTestbed) Device() *Device { return t.tb.dev }
+
+// Peer returns the operator-side network endpoint.
+func (t *AttackTestbed) Peer() *m2m.Endpoint { return t.tb.peer }
+
+// AttackTarget returns the attack-injection view of the testbed.
+func (t *AttackTestbed) AttackTarget() *attack.Target { return t.tb.tgt }
+
+// Warm runs healthy background workload for the given duration so the
+// anomaly detectors learn their baselines.
+func (t *AttackTestbed) Warm(d time.Duration) error { return t.tb.warm(d) }
