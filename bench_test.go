@@ -156,9 +156,11 @@ func BenchmarkMonitoredBusTransaction(b *testing.B) {
 	if _, err := d.Boot(); err != nil {
 		b.Fatal(err)
 	}
+	var buf [8]byte
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.SoC.AppCore.Read(hw.AddrSRAM+hw.Addr((i*64)%65536), 8) //nolint:errcheck
+		d.SoC.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
 	}
 }
 

@@ -1,12 +1,18 @@
 // Command cresbench runs the complete experiment suite (E1–E10) and
 // prints every table and series — the data behind EXPERIMENTS.md.
 //
+// It also emits a machine-readable benchmark artifact (BENCH_perf.json)
+// recording host-CPU ns/op for each experiment and the E9 ablation's
+// ns/tx and allocs/tx, so the perf trajectory of the simulator's hot
+// paths is tracked across PRs.
+//
 // Usage:
 //
-//	cresbench [-seed 7] [-quick]
+//	cresbench [-seed 7] [-quick] [-json BENCH_perf.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +24,47 @@ import (
 func main() {
 	seed := flag.Int64("seed", 7, "simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast run")
+	jsonPath := flag.String("json", "BENCH_perf.json", "write the machine-readable benchmark report here (empty to disable)")
 	flag.Parse()
-	if err := run(*seed, *quick); err != nil {
+	if err := run(*seed, *quick, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cresbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, quick bool) error {
+// benchReport is the schema of BENCH_perf.json.
+type benchReport struct {
+	Schema      string            `json:"schema"`
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	E9          benchE9           `json:"e9"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// benchE9 records the monitoring-overhead ablation, the paper's central
+// cost argument: monitoring must be cheap enough for every transaction.
+type benchE9 struct {
+	Txs  int          `json:"txs"`
+	Rows []benchE9Row `json:"rows"`
+}
+
+type benchE9Row struct {
+	Config      string  `json:"config"`
+	NsPerTx     float64 `json:"ns_per_tx"`
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	Alerts      uint64  `json:"alerts"`
+}
+
+type benchExperiment struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func run(seed int64, quick bool, jsonPath string) error {
 	fmt.Println("CRES experiment suite — reproduction of Siddiqui, Hagan & Sezer, IEEE SOCC 2019")
 	fmt.Println()
+
+	report := benchReport{Schema: "cres-bench/v1", Seed: seed, Quick: quick}
 
 	// E2 then E1: the figure gives the framework context for the table.
 	e2 := cres.RunE2Figure1()
@@ -39,19 +76,19 @@ func run(seed int64, quick bool) error {
 	fmt.Println(e1.CoverageTable.Render())
 	fmt.Printf("Derived research gaps: %v\n\n", e1.Gaps)
 
-	e3, err := cres.RunE3DetectionMatrix(seed)
+	e3, err := timedRun(&report, "E3", func() (*cres.E3Result, error) { return cres.RunE3DetectionMatrix(seed) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e3.Table.Render())
 
-	e3b, err := cres.RunE3bDetectionAblation(seed)
+	e3b, err := timedRun(&report, "E3b", func() (*cres.E3bResult, error) { return cres.RunE3bDetectionAblation(seed) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e3b.Table.Render())
 
-	e4, err := cres.RunE4EvidenceContinuity(seed)
+	e4, err := timedRun(&report, "E4", func() (*cres.E4Result, error) { return cres.RunE4EvidenceContinuity(seed) })
 	if err != nil {
 		return err
 	}
@@ -61,19 +98,19 @@ func run(seed int64, quick bool) error {
 	if quick {
 		window = 300 * time.Millisecond
 	}
-	e5, err := cres.RunE5GracefulDegradation(seed, window)
+	e5, err := timedRun(&report, "E5", func() (*cres.E5Result, error) { return cres.RunE5GracefulDegradation(seed, window) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e5.Table.Render())
 
-	e6, err := cres.RunE6Recovery(seed)
+	e6, err := timedRun(&report, "E6", func() (*cres.E6Result, error) { return cres.RunE6Recovery(seed) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e6.Table.Render())
 
-	e7, err := cres.RunE7Rollback(seed)
+	e7, err := timedRun(&report, "E7", func() (*cres.E7Result, error) { return cres.RunE7Rollback(seed) })
 	if err != nil {
 		return err
 	}
@@ -83,7 +120,7 @@ func run(seed int64, quick bool) error {
 	if quick {
 		sizes = []int{4, 16, 64}
 	}
-	e8, err := cres.RunE8FleetAttestation(sizes, seed)
+	e8, err := timedRun(&report, "E8", func() (*cres.E8Result, error) { return cres.RunE8FleetAttestation(sizes, seed) })
 	if err != nil {
 		return err
 	}
@@ -94,24 +131,68 @@ func run(seed int64, quick bool) error {
 	if quick {
 		txs = 50_000
 	}
-	e9, err := cres.RunE9MonitorOverhead(txs)
+	e9, err := timedRun(&report, "E9", func() (*cres.E9Result, error) { return cres.RunE9MonitorOverhead(txs) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e9.Table.Render())
+	report.E9.Txs = txs
+	for _, r := range e9.Rows {
+		report.E9.Rows = append(report.E9.Rows, benchE9Row{
+			Config:      r.Config,
+			NsPerTx:     r.WallNsPerTx,
+			AllocsPerTx: r.AllocsPerTx,
+			Alerts:      r.Alerts,
+		})
+	}
 
-	e10, err := cres.RunE10CovertChannel(seed)
+	e10, err := timedRun(&report, "E10", func() (*cres.E10Result, error) { return cres.RunE10CovertChannel(seed) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e10.Table.Render())
 	fmt.Println(e10.Series.Render())
 
-	e11, err := cres.RunE11PointerAuth(seed, 500)
+	e11, err := timedRun(&report, "E11", func() (*cres.E11Result, error) { return cres.RunE11PointerAuth(seed, 500) })
 	if err != nil {
 		return err
 	}
 	fmt.Println(e11.Table.Render())
 
+	if jsonPath != "" {
+		if err := writeReport(jsonPath, &report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote benchmark report to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// timedRun times one experiment's computation and appends it to the
+// report. Only fn itself is measured — rendering and printing happen
+// outside, so ns_per_op tracks the simulator, not the log sink.
+func timedRun[T any](report *benchReport, name string, fn func() (T, error)) (T, error) {
+	start := time.Now()
+	out, err := fn()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	report.Experiments = append(report.Experiments, benchExperiment{
+		Name:    name,
+		NsPerOp: float64(time.Since(start).Nanoseconds()),
+	})
+	return out, nil
+}
+
+func writeReport(path string, report *benchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal benchmark report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write benchmark report: %w", err)
+	}
 	return nil
 }

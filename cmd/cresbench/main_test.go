@@ -1,12 +1,46 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
 	}
-	if err := run(7, true); err != nil {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_perf.json")
+	if err := run(7, true, jsonPath); err != nil {
 		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("benchmark report not written: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("benchmark report is not valid JSON: %v", err)
+	}
+	if report.Schema != "cres-bench/v1" {
+		t.Fatalf("report schema = %q, want cres-bench/v1", report.Schema)
+	}
+	if len(report.E9.Rows) != 4 {
+		t.Fatalf("E9 rows = %d, want 4", len(report.E9.Rows))
+	}
+	for _, row := range report.E9.Rows {
+		if row.NsPerTx <= 0 {
+			t.Errorf("E9 %s: ns/tx = %v, want > 0", row.Config, row.NsPerTx)
+		}
+	}
+	if len(report.Experiments) == 0 {
+		t.Fatal("no per-experiment timings recorded")
+	}
+	for _, exp := range report.Experiments {
+		if exp.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v, want > 0", exp.Name, exp.NsPerOp)
+		}
 	}
 }

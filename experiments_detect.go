@@ -71,13 +71,14 @@ func finishTestbed(dev *Device, net *m2m.Network) (*testbed, error) {
 // warm runs healthy workload so anomaly baselines exist.
 func (tb *testbed) warm(dur time.Duration) error {
 	i := 0
+	var buf [16]byte
 	tk, err := sim.NewTicker(tb.dev.Engine, 100*time.Microsecond, func(sim.VirtualTime) {
 		if tb.dev.SoC.AppCore.Halted() {
 			return
 		}
 		seq := []hw.BlockID{1, 2, 3, 4}
 		tb.dev.SoC.AppCore.ExecBlock(seq[i%4])
-		tb.dev.SoC.AppCore.Read(hw.AddrSRAM+hw.Addr((i*64)%8192), 16)
+		tb.dev.SoC.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%8192), buf[:])
 		if i%5 == 0 {
 			tb.peer.Send("dut", "telemetry", []byte("nominal"))
 		}

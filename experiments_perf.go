@@ -1,6 +1,7 @@
 package cres
 
 import (
+	"runtime"
 	"time"
 
 	"cres/internal/boot"
@@ -22,6 +23,9 @@ type E9Row struct {
 	// transaction — the simulator's proxy for the hardware area/latency
 	// cost of the monitoring path.
 	WallNsPerTx float64
+	// AllocsPerTx is the heap allocations per transaction on the
+	// steady-state read path (0 means the hot loop is allocation-free).
+	AllocsPerTx float64
 	// Alerts raised during the run (sanity signal).
 	Alerts uint64
 }
@@ -94,22 +98,32 @@ func RunE9MonitorOverhead(txs int) (*E9Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var buf [8]byte
+		// Warm the path (lane interning, heap growth) before measuring.
+		for i := 0; i < 64; i++ {
+			soc.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
+		}
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		for i := 0; i < txs; i++ {
-			soc.AppCore.Read(hw.AddrSRAM+hw.Addr((i*64)%65536), 8) //nolint:errcheck
+			soc.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		res.Rows = append(res.Rows, E9Row{
 			Config:      s.name,
 			WallNsPerTx: float64(elapsed.Nanoseconds()) / float64(txs),
+			AllocsPerTx: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(txs),
 			Alerts:      *alerts,
 		})
 	}
 
 	t := report.NewTable("E9 — Monitoring-path cost per bus transaction (ablation)",
-		"Configuration", "ns/tx (host)", "Alerts")
+		"Configuration", "ns/tx (host)", "allocs/tx", "Alerts")
 	for _, r := range res.Rows {
-		t.AddRow(r.Config, report.F(r.WallNsPerTx), report.U(r.Alerts))
+		t.AddRow(r.Config, report.F(r.WallNsPerTx), report.F(r.AllocsPerTx), report.U(r.Alerts))
 	}
 	res.Table = t
 	return res, nil

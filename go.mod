@@ -1,0 +1,3 @@
+module cres
+
+go 1.24

@@ -100,8 +100,9 @@ func (SecureProbe) Launch(tgt *Target) error {
 	if tgt.SoC == nil {
 		return fmt.Errorf("%w: SoC", ErrTargetIncomplete)
 	}
+	var buf [16]byte
 	repeat(tgt.Engine, 50*time.Microsecond, 40, func(i int) {
-		tgt.SoC.AppCore.Read(hw.AddrSecureSRAM+hw.Addr(i*64), 16) //nolint:errcheck // faults are the point
+		tgt.SoC.AppCore.ReadInto(hw.AddrSecureSRAM+hw.Addr(i*64), buf[:]) //nolint:errcheck // faults are the point
 	})
 	return nil
 }
@@ -194,8 +195,9 @@ func (BusAttributeTamper) Launch(tgt *Target) error {
 			tx.World = hw.WorldSecure
 		}
 	})
+	buf := make([]byte, size)
 	repeat(tgt.Engine, 100*time.Microsecond, 10, func(i int) {
-		tgt.SoC.AppCore.Read(addr, size) //nolint:errcheck
+		tgt.SoC.AppCore.ReadInto(addr, buf) //nolint:errcheck
 		if i == 9 {
 			tgt.SoC.Bus.SetTamper(nil) // attacker withdraws
 		}
@@ -428,8 +430,9 @@ func (b BusFlood) Launch(tgt *Target) error {
 	if n == 0 {
 		n = 3000
 	}
+	var buf [8]byte
 	repeat(tgt.Engine, time.Microsecond, n, func(i int) {
-		tgt.SoC.AppCore.Read(hw.AddrSRAM+hw.Addr((i*64)%4096), 8) //nolint:errcheck
+		tgt.SoC.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%4096), buf[:]) //nolint:errcheck
 	})
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -152,6 +153,12 @@ type SSM struct {
 
 	obsTicker    *sim.Ticker
 	anchorTicker *sim.Ticker
+
+	// Scratch buffers reused by observe so each observation tick formats
+	// gauges without re-allocating the key slice or byte buffer; only the
+	// final record string is allocated.
+	obsKeys    []string
+	obsScratch []byte
 
 	onStateChange func(from, to HealthState)
 
@@ -360,19 +367,21 @@ func (s *SSM) setState(to HealthState) {
 func (s *SSM) observe(at sim.VirtualTime) {
 	for _, m := range s.monitors {
 		snap := m.Snapshot()
-		keys := make([]string, 0, len(snap))
+		s.obsKeys = s.obsKeys[:0]
 		for k := range snap {
-			keys = append(keys, k)
+			s.obsKeys = append(s.obsKeys, k)
 		}
-		sort.Strings(keys)
-		var b strings.Builder
-		for i, k := range keys {
+		sort.Strings(s.obsKeys)
+		s.obsScratch = s.obsScratch[:0]
+		for i, k := range s.obsKeys {
 			if i > 0 {
-				b.WriteString(" ")
+				s.obsScratch = append(s.obsScratch, ' ')
 			}
-			fmt.Fprintf(&b, "%s=%.2f", k, snap[k])
+			s.obsScratch = append(s.obsScratch, k...)
+			s.obsScratch = append(s.obsScratch, '=')
+			s.obsScratch = strconv.AppendFloat(s.obsScratch, snap[k], 'f', 2, 64)
 		}
-		s.log.Append(at, m.Name(), evidence.KindObservation, b.String())
+		s.log.Append(at, m.Name(), evidence.KindObservation, string(s.obsScratch))
 	}
 	// Suspicion decay.
 	for r := range s.scores {

@@ -120,14 +120,17 @@ func (l *Log) Records() []Record {
 	return out
 }
 
-// Window returns the records with from <= At <= to, in order.
+// Window returns the records with from <= At <= to, in order. The result
+// is a read-only view of the log's internal storage — no copy is made.
+// Callers must not modify the returned records and should not hold the
+// view across calls that mutate the log: appends normally leave old
+// entries untouched, but the attack-injector-only TamperErase and
+// TamperRewrite rewrite storage in place and invalidate live views.
 func (l *Log) Window(from, to sim.VirtualTime) []Record {
 	// Records are appended in time order; binary search the bounds.
 	lo := sort.Search(len(l.records), func(i int) bool { return l.records[i].At >= from })
 	hi := sort.Search(len(l.records), func(i int) bool { return l.records[i].At > to })
-	out := make([]Record, hi-lo)
-	copy(out, l.records[lo:hi])
-	return out
+	return l.records[lo:hi:hi]
 }
 
 // Verify walks the chain and returns the sequence number of the first
@@ -230,10 +233,11 @@ func (l *Log) Continuity(from, to sim.VirtualTime, gap sim.VirtualTime, source s
 	if to <= from {
 		return 0
 	}
-	window := l.Window(from, to)
+	window := l.Window(from, to) // no-copy view
 	covered := sim.VirtualTime(0)
 	cursor := from
-	for _, r := range window {
+	for i := range window {
+		r := &window[i]
 		if source != "" && r.Source != source {
 			continue
 		}

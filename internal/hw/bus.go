@@ -38,6 +38,11 @@ type Transaction struct {
 	At sim.VirtualTime
 	// Initiator names the master that issued the transaction.
 	Initiator string
+	// InitiatorID is the dense per-bus index the interconnect assigned to
+	// the initiator at Attach time. It identifies the physical master even
+	// if an in-flight tamper rewrites security attributes, and lets
+	// observers keep per-initiator state in a slice instead of a map.
+	InitiatorID int
 	// World is the security attribute the bus carries for the
 	// transaction (the NS bit in TrustZone terms). It normally equals
 	// the initiator's provisioned world, but hardware-level attacks can
@@ -58,7 +63,10 @@ type Result struct {
 	Fault *Fault
 	// Region is the name of the region hit (empty if unmapped).
 	Region string
-	// Data holds read results (nil for writes).
+	// Data holds read results (nil for writes). It is a view of the
+	// memory region's backing store, not a copy: it is valid only for the
+	// duration of an observer callback and must not be retained or
+	// mutated. Initiator.Read returns callers a private copy instead.
 	Data []byte
 }
 
@@ -94,6 +102,7 @@ type installedGate struct {
 type Initiator struct {
 	bus   *Bus
 	name  string
+	id    int
 	world World
 }
 
@@ -111,6 +120,7 @@ func (i *Initiator) World() World { return i.world }
 type Bus struct {
 	engine    *sim.Engine
 	mem       *Memory
+	nextInit  int // next dense initiator ID (see Transaction.InitiatorID)
 	observers []Observer
 	gates     []installedGate
 	gateSeq   uint64
@@ -148,8 +158,12 @@ func (b *Bus) Memory() *Memory { return b.mem }
 func (b *Bus) Stats() BusStats { return b.stats }
 
 // Attach registers a new initiator with a provisioned security world.
+// Initiators receive dense sequential IDs in attach order (see
+// Transaction.InitiatorID).
 func (b *Bus) Attach(name string, world World) *Initiator {
-	return &Initiator{bus: b, name: name, world: world}
+	init := &Initiator{bus: b, name: name, id: b.nextInit, world: world}
+	b.nextInit++
+	return init
 }
 
 // Subscribe registers a bus observer. Observers see every transaction.
@@ -181,24 +195,30 @@ func (b *Bus) RemoveGate(tok GateToken) bool {
 func (b *Bus) SetTamper(fn func(*Transaction)) { b.tamper = fn }
 
 // issue routes one transaction: tamper hook, gates, memory access,
-// observers, stats — in that order.
-func (b *Bus) issue(init *Initiator, kind TxKind, addr Addr, size uint64, data []byte) Result {
+// observers, stats — in that order. It returns nil when the access
+// succeeded; the full Result exists only for observers, so the common
+// path copies one pointer out instead of the whole struct.
+//
+// For reads and fetches, dst (when non-nil) receives a copy of the data;
+// observers always see the region's backing slice in Result.Data, so the
+// steady-state read path performs no allocation.
+func (b *Bus) issue(init *Initiator, kind TxKind, addr Addr, size uint64, data []byte, dst []byte) *Fault {
 	b.seq++
 	tx := Transaction{
-		Seq:       b.seq,
-		At:        b.engine.Now(),
-		Initiator: init.name,
-		World:     init.world,
-		Kind:      kind,
-		Addr:      addr,
-		Size:      size,
+		Seq:         b.seq,
+		At:          b.engine.Now(),
+		Initiator:   init.name,
+		InitiatorID: init.id,
+		World:       init.world,
+		Kind:        kind,
+		Addr:        addr,
+		Size:        size,
 	}
 	if b.tamper != nil {
-		before := tx
-		b.tamper(&tx)
-		if tx != before {
-			b.stats.Tampered++
-		}
+		// Kept out of line: taking &tx here would make every transaction
+		// escape to the heap; the helper confines that cost to runs with
+		// an active tamper attack.
+		tx = b.applyTamper(tx)
 	}
 
 	var res Result
@@ -213,10 +233,9 @@ func (b *Bus) issue(init *Initiator, kind TxKind, addr Addr, size uint64, data [
 	if !blocked {
 		switch kind {
 		case TxWrite:
-			if f := b.mem.write(tx.Addr, data, tx.World); f != nil {
+			if r, f := b.mem.write(tx.Addr, data, tx.World); f != nil {
 				res = Result{Fault: f, Region: f.Region}
 			} else {
-				r, _ := b.mem.Find(tx.Addr, size)
 				res = Result{OK: true, Region: r.Name}
 			}
 		default: // TxRead, TxExec share read semantics with different perms
@@ -224,10 +243,12 @@ func (b *Bus) issue(init *Initiator, kind TxKind, addr Addr, size uint64, data [
 			if f != nil {
 				res = Result{Fault: f, Region: f.Region}
 			} else {
-				off := tx.Addr - r.Base
-				out := make([]byte, size)
-				copy(out, r.data[off:uint64(off)+size])
-				res = Result{OK: true, Region: r.Name, Data: out}
+				off := uint64(tx.Addr - r.Base)
+				view := r.data[off : off+size : off+size]
+				if dst != nil {
+					copy(dst, view)
+				}
+				res = Result{OK: true, Region: r.Name, Data: view}
 			}
 		}
 	}
@@ -250,32 +271,71 @@ func (b *Bus) issue(init *Initiator, kind TxKind, addr Addr, size uint64, data [
 	for _, o := range b.observers {
 		o.ObserveTx(tx, res)
 	}
-	return res
+	return res.Fault
 }
 
-// Read issues a read transaction and returns the data.
-func (i *Initiator) Read(addr Addr, size uint64) ([]byte, error) {
-	res := i.bus.issue(i, TxRead, addr, size, nil)
-	if !res.OK {
-		return nil, res.Fault
+// applyTamper runs the in-flight rewriter over a copy of tx, counting a
+// tampered transaction when any field changed. The attack can rewrite
+// bus attributes (world, kind, address, size) but not the transaction's
+// physical identity: the interconnect knows which master drove the
+// request lines, so Seq, At, Initiator and InitiatorID are restored
+// after the hook. Observers may therefore index per-initiator state by
+// InitiatorID even under an active tamper attack.
+func (b *Bus) applyTamper(tx Transaction) Transaction {
+	before := tx
+	b.tamper(&tx)
+	tx.Seq = before.Seq
+	tx.At = before.At
+	tx.Initiator = before.Initiator
+	tx.InitiatorID = before.InitiatorID
+	if tx != before {
+		b.stats.Tampered++
 	}
-	return res.Data, nil
+	return tx
 }
 
-// Write issues a write transaction.
-func (i *Initiator) Write(addr Addr, data []byte) error {
-	res := i.bus.issue(i, TxWrite, addr, uint64(len(data)), data)
-	if !res.OK {
-		return res.Fault
+// Read issues a read transaction and returns the data in a freshly
+// allocated buffer. Hot paths that reuse a buffer should call ReadInto.
+func (i *Initiator) Read(addr Addr, size uint64) ([]byte, error) {
+	buf := make([]byte, size)
+	if f := i.bus.issue(i, TxRead, addr, size, nil, buf); f != nil {
+		return nil, f
+	}
+	return buf, nil
+}
+
+// ReadInto issues a read transaction of len(buf) bytes into the
+// caller-supplied buffer. It allocates nothing on the success path.
+func (i *Initiator) ReadInto(addr Addr, buf []byte) error {
+	if f := i.bus.issue(i, TxRead, addr, uint64(len(buf)), nil, buf); f != nil {
+		return f
 	}
 	return nil
 }
 
-// Fetch issues an instruction-fetch (exec) transaction.
-func (i *Initiator) Fetch(addr Addr, size uint64) ([]byte, error) {
-	res := i.bus.issue(i, TxExec, addr, size, nil)
-	if !res.OK {
-		return nil, res.Fault
+// Write issues a write transaction.
+func (i *Initiator) Write(addr Addr, data []byte) error {
+	if f := i.bus.issue(i, TxWrite, addr, uint64(len(data)), data, nil); f != nil {
+		return f
 	}
-	return res.Data, nil
+	return nil
+}
+
+// Fetch issues an instruction-fetch (exec) transaction and returns the
+// data in a freshly allocated buffer.
+func (i *Initiator) Fetch(addr Addr, size uint64) ([]byte, error) {
+	buf := make([]byte, size)
+	if f := i.bus.issue(i, TxExec, addr, size, nil, buf); f != nil {
+		return nil, f
+	}
+	return buf, nil
+}
+
+// FetchInto issues an instruction-fetch of len(buf) bytes into the
+// caller-supplied buffer. It allocates nothing on the success path.
+func (i *Initiator) FetchInto(addr Addr, buf []byte) error {
+	if f := i.bus.issue(i, TxExec, addr, uint64(len(buf)), nil, buf); f != nil {
+		return f
+	}
+	return nil
 }

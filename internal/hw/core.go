@@ -63,12 +63,22 @@ func (c *Core) ExecBlock(b BlockID) error {
 	return nil
 }
 
-// Read issues a bus read from this core.
+// Read issues a bus read from this core into a fresh buffer. Hot paths
+// that reuse a buffer should call ReadInto.
 func (c *Core) Read(addr Addr, size uint64) ([]byte, error) {
 	if c.halted {
 		return nil, fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
 	}
 	return c.init.Read(addr, size)
+}
+
+// ReadInto issues a bus read of len(buf) bytes from this core into the
+// caller-supplied buffer, allocating nothing on the success path.
+func (c *Core) ReadInto(addr Addr, buf []byte) error {
+	if c.halted {
+		return fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	return c.init.ReadInto(addr, buf)
 }
 
 // Write issues a bus write from this core.
@@ -85,6 +95,15 @@ func (c *Core) Fetch(addr Addr, size uint64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
 	}
 	return c.init.Fetch(addr, size)
+}
+
+// FetchInto issues an instruction fetch of len(buf) bytes into the
+// caller-supplied buffer, allocating nothing on the success path.
+func (c *Core) FetchInto(addr Addr, buf []byte) error {
+	if c.halted {
+		return fmt.Errorf("%w: %s", ErrCoreHalted, c.name)
+	}
+	return c.init.FetchInto(addr, buf)
 }
 
 // Halt stops the core (response countermeasure).

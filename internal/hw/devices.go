@@ -50,16 +50,22 @@ func (d *DMAEngine) Transfer(src, dst Addr, n uint64, done func(error)) {
 		return
 	}
 	d.active++
-	var step func(offset uint64)
-	step = func(offset uint64) {
+	// One chunk buffer and one closure serve the whole transfer: the
+	// closure advances its captured offset and re-schedules itself, so a
+	// chunk costs no allocations.
+	buf := make([]byte, d.chunkSize)
+	var offset uint64
+	var step func()
+	step = func() {
 		remaining := n - offset
 		sz := d.chunkSize
 		if remaining < sz {
 			sz = remaining
 		}
-		data, err := d.init.Read(src+Addr(offset), sz)
+		chunk := buf[:sz]
+		err := d.init.ReadInto(src+Addr(offset), chunk)
 		if err == nil {
-			err = d.init.Write(dst+Addr(offset), data)
+			err = d.init.Write(dst+Addr(offset), chunk)
 		}
 		if err != nil {
 			d.active--
@@ -72,9 +78,9 @@ func (d *DMAEngine) Transfer(src, dst Addr, n uint64, done func(error)) {
 			done(nil)
 			return
 		}
-		d.engine.MustSchedule(d.perChunk, func() { step(offset) })
+		d.engine.MustSchedule(d.perChunk, step)
 	}
-	d.engine.MustSchedule(d.perChunk, func() { step(0) })
+	d.engine.MustSchedule(d.perChunk, step)
 }
 
 // SensorKind classifies environmental sensors (Table I recovery row:

@@ -163,6 +163,7 @@ func AsFault(err error) (*Fault, bool) {
 // The zero value is an empty address space ready for AddRegion.
 type Memory struct {
 	regions []*Region // sorted by Base
+	last    *Region   // most recently hit region (lookup cache)
 }
 
 // AddRegion maps a new region. Overlap with an existing region is an error.
@@ -201,13 +202,26 @@ func (m *Memory) Regions() []*Region {
 	return out
 }
 
-// Find returns the region covering [addr, addr+n).
+// Find returns the region covering [addr, addr+n). Bus traffic is highly
+// local, so the most recently hit region is checked first; misses fall
+// back to a binary search over the base-sorted region list.
 func (m *Memory) Find(addr Addr, n uint64) (*Region, *Fault) {
-	i := sort.Search(len(m.regions), func(i int) bool {
-		return m.regions[i].Base+Addr(m.regions[i].Size) > addr
-	})
-	if i < len(m.regions) && m.regions[i].Contains(addr, n) {
-		return m.regions[i], nil
+	if r := m.last; r != nil && r.Contains(addr, n) {
+		return r, nil
+	}
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		r := m.regions[mid]
+		if r.Base+Addr(r.Size) > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(m.regions) && m.regions[lo].Contains(addr, n) {
+		m.last = m.regions[lo]
+		return m.regions[lo], nil
 	}
 	return nil, &Fault{Code: FaultUnmapped, Addr: addr, Detail: fmt.Sprintf("no region covers %d bytes", n)}
 }
@@ -238,27 +252,16 @@ func (m *Memory) check(addr Addr, n uint64, k TxKind, w World) (*Region, *Fault)
 	return r, nil
 }
 
-// read copies n bytes at addr after checking access from world w.
-func (m *Memory) read(addr Addr, n uint64, w World) ([]byte, *Fault) {
-	r, f := m.check(addr, n, TxRead, w)
+// write stores data at addr after checking access from world w. It
+// returns the region written so the bus needs no second region lookup.
+func (m *Memory) write(addr Addr, data []byte, w World) (*Region, *Fault) {
+	r, f := m.check(addr, uint64(len(data)), TxWrite, w)
 	if f != nil {
 		return nil, f
 	}
 	off := addr - r.Base
-	out := make([]byte, n)
-	copy(out, r.data[off:uint64(off)+n])
-	return out, nil
-}
-
-// write stores data at addr after checking access from world w.
-func (m *Memory) write(addr Addr, data []byte, w World) *Fault {
-	r, f := m.check(addr, uint64(len(data)), TxWrite, w)
-	if f != nil {
-		return f
-	}
-	off := addr - r.Base
 	copy(r.data[off:], data)
-	return nil
+	return r, nil
 }
 
 // Peek reads raw bytes bypassing all checks. It models physical

@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/hw"
+	"cres/internal/sim"
+)
+
+// buildMonitoredBus wires a bus with one SRAM region and a subscribed
+// BusMonitor in the given configuration.
+func buildMonitoredBus(t testing.TB, cfg BusConfig) (*hw.Initiator, *BusMonitor) {
+	t.Helper()
+	e := sim.New(1)
+	var mem hw.Memory
+	if _, err := mem.AddRegion("sram", 0x2000_0000, 1<<16, hw.PermRead|hw.PermWrite, hw.WorldNormal); err != nil {
+		t.Fatal(err)
+	}
+	bus := hw.NewBus(e, &mem)
+	init := bus.Attach("app-core", hw.WorldNormal)
+	var alerts uint64
+	m, err := NewBusMonitor(e, cfg, SinkFunc(func(Alert) { alerts++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Subscribe(m)
+	return init, m
+}
+
+// The paper's cost argument requires monitoring cheap enough for every
+// transaction: a steady-state read observed by the bus monitor must not
+// allocate at all. This is the regression gate for the zero-allocation
+// hot path.
+func TestMonitoredReadIntoAllocFree(t *testing.T) {
+	init, _ := buildMonitoredBus(t, BusConfig{})
+	buf := make([]byte, 8)
+	addr := hw.Addr(0x2000_0000)
+	// Warm: interns the initiator lane and grows internal slices.
+	for i := 0; i < 64; i++ {
+		if err := init.ReadInto(addr+hw.Addr((i*64)%4096), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		init.ReadInto(addr, buf) //nolint:errcheck
+	})
+	if allocs != 0 {
+		t.Fatalf("monitored ReadInto allocates %.1f objects per tx, want 0", allocs)
+	}
+}
+
+// The full configuration — provisioned worlds, watchpoints and rate
+// detection — must also keep the steady-state success path free of
+// allocations (the ticker is pooled and alerts never fire).
+func TestMonitoredReadIntoFullConfigAllocFree(t *testing.T) {
+	init, _ := buildMonitoredBus(t, BusConfig{
+		ProvisionedWorlds: map[string]hw.World{"app-core": hw.WorldNormal},
+		Watchpoints: []Watchpoint{
+			{Region: "flash", Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"updater"}},
+		},
+		RateWindow: time.Millisecond,
+	})
+	buf := make([]byte, 8)
+	addr := hw.Addr(0x2000_0000)
+	for i := 0; i < 64; i++ {
+		if err := init.ReadInto(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		init.ReadInto(addr, buf) //nolint:errcheck
+	})
+	if allocs != 0 {
+		t.Fatalf("fully-configured monitored ReadInto allocates %.1f objects per tx, want 0", allocs)
+	}
+}
+
+// Writes on the same path must stay allocation-free too (single region
+// lookup, no Result copy-out).
+func TestMonitoredWriteAllocFree(t *testing.T) {
+	init, _ := buildMonitoredBus(t, BusConfig{})
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	addr := hw.Addr(0x2000_0000)
+	for i := 0; i < 64; i++ {
+		if err := init.Write(addr, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		init.Write(addr, data) //nolint:errcheck
+	})
+	if allocs != 0 {
+		t.Fatalf("monitored Write allocates %.1f objects per tx, want 0", allocs)
+	}
+}
+
+// Result.Data handed to observers must be a live view of the region's
+// backing store (no per-read copy), and ReadInto must still deliver the
+// bytes into the caller's buffer.
+func TestObserverSeesBackingView(t *testing.T) {
+	e := sim.New(1)
+	var mem hw.Memory
+	region, err := mem.AddRegion("sram", 0x1000, 4096, hw.PermRead|hw.PermWrite, hw.WorldNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = region
+	bus := hw.NewBus(e, &mem)
+	init := bus.Attach("core", hw.WorldNormal)
+
+	want := []byte{0xde, 0xad, 0xbe, 0xef}
+	if err := init.Write(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+
+	var observed []byte
+	bus.Subscribe(observerFunc(func(tx hw.Transaction, res hw.Result) {
+		if tx.Kind == hw.TxRead {
+			observed = append(observed[:0], res.Data...)
+		}
+	}))
+
+	buf := make([]byte, 4)
+	if err := init.ReadInto(0x1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("ReadInto buf = %x, want %x", buf, want)
+		}
+		if observed[i] != want[i] {
+			t.Fatalf("observer saw %x, want %x", observed, want)
+		}
+	}
+}
+
+type observerFunc func(hw.Transaction, hw.Result)
+
+func (f observerFunc) ObserveTx(tx hw.Transaction, res hw.Result) { f(tx, res) }
+
+// Per-initiator rate lanes are indexed by the bus-assigned dense
+// InitiatorID, so alerts must still name the initiator and rate anomalies
+// must fire per lane.
+func TestRateAnomalyPerLane(t *testing.T) {
+	e := sim.New(1)
+	var mem hw.Memory
+	if _, err := mem.AddRegion("sram", 0, 4096, hw.PermRead, hw.WorldNormal); err != nil {
+		t.Fatal(err)
+	}
+	bus := hw.NewBus(e, &mem)
+	quiet := bus.Attach("quiet", hw.WorldNormal)
+	noisy := bus.Attach("noisy", hw.WorldNormal)
+
+	var alerts []Alert
+	m, err := NewBusMonitor(e, BusConfig{RateWindow: time.Millisecond, RateWarmup: 4},
+		SinkFunc(func(a Alert) { alerts = append(alerts, a) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	bus.Subscribe(m)
+
+	buf := make([]byte, 4)
+	// Learn a steady baseline for both initiators.
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 10; i++ {
+			quiet.ReadInto(0, buf) //nolint:errcheck
+			noisy.ReadInto(0, buf) //nolint:errcheck
+		}
+		e.RunFor(time.Millisecond)
+	}
+	// Then the noisy initiator floods.
+	for i := 0; i < 500; i++ {
+		noisy.ReadInto(0, buf) //nolint:errcheck
+	}
+	e.RunFor(time.Millisecond)
+
+	found := false
+	for _, a := range alerts {
+		if a.Signature == SigBusRateAnomaly {
+			if a.Resource != "noisy" {
+				t.Fatalf("rate anomaly attributed to %q, want noisy", a.Resource)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flood did not raise a rate anomaly")
+	}
+}

@@ -71,6 +71,17 @@ type BusConfig struct {
 	DisableSignatures bool
 }
 
+// busLane is the monitor's per-initiator state, indexed by the dense
+// hw.Transaction.InitiatorID the bus assigns at Attach time. Keeping it
+// in a slice makes the per-transaction bookkeeping a bounds-checked
+// increment instead of a map hash of the initiator name.
+type busLane struct {
+	name  string   // interned on first transaction
+	count uint64   // txs in the current rate window
+	prov  hw.World // provisioned world, 0 when not configured
+	det   *Anomaly
+}
+
 // BusMonitor observes every interconnect transaction, raising
 // signature-based alerts for faults, attribute tampering and watchpoint
 // hits, and statistical alerts for per-initiator rate anomalies.
@@ -81,10 +92,8 @@ type BusMonitor struct {
 	sink   Sink
 	cfg    BusConfig
 
-	counts      map[string]uint64 // per-initiator txs in current window
-	faultCounts map[string]uint64
-	detectors   map[string]*Anomaly
-	ticker      *sim.Ticker
+	lanes  []busLane // per-initiator state, indexed by InitiatorID
+	ticker *sim.Ticker
 
 	totalTx     uint64
 	totalFaults uint64
@@ -106,12 +115,9 @@ func NewBusMonitor(engine *sim.Engine, cfg BusConfig, sink Sink) (*BusMonitor, e
 		cfg.RateWarmup = 16
 	}
 	m := &BusMonitor{
-		engine:      engine,
-		sink:        sink,
-		cfg:         cfg,
-		counts:      make(map[string]uint64),
-		faultCounts: make(map[string]uint64),
-		detectors:   make(map[string]*Anomaly),
+		engine: engine,
+		sink:   sink,
+		cfg:    cfg,
 	}
 	if cfg.RateWindow > 0 {
 		t, err := sim.NewTicker(engine, cfg.RateWindow, m.sampleRates)
@@ -133,10 +139,29 @@ func (m *BusMonitor) Stop() {
 	}
 }
 
+// lane returns the per-initiator state for tx, growing and interning on
+// first sight of a new InitiatorID. The returned pointer is valid until
+// the next lane call (the backing slice may be regrown).
+func (m *BusMonitor) lane(tx *hw.Transaction) *busLane {
+	id := tx.InitiatorID
+	for id >= len(m.lanes) {
+		m.lanes = append(m.lanes, busLane{})
+	}
+	ln := &m.lanes[id]
+	if ln.name == "" {
+		ln.name = tx.Initiator
+		if prov, ok := m.cfg.ProvisionedWorlds[tx.Initiator]; ok {
+			ln.prov = prov
+		}
+	}
+	return ln
+}
+
 // ObserveTx implements hw.Observer.
 func (m *BusMonitor) ObserveTx(tx hw.Transaction, res hw.Result) {
 	m.totalTx++
-	m.counts[tx.Initiator]++
+	ln := m.lane(&tx)
+	ln.count++
 
 	if m.cfg.DisableSignatures {
 		if !res.OK {
@@ -145,9 +170,15 @@ func (m *BusMonitor) ObserveTx(tx hw.Transaction, res hw.Result) {
 		return
 	}
 
+	// Steady-state fast path: a successful transaction from an initiator
+	// with no provisioned-world constraint, on a bus with no watchpoints,
+	// needs no further inspection and formats nothing.
+	if res.OK && ln.prov == 0 && len(m.cfg.Watchpoints) == 0 {
+		return
+	}
+
 	if !res.OK && res.Fault != nil {
 		m.totalFaults++
-		m.faultCounts[tx.Initiator]++
 		switch res.Fault.Code {
 		case hw.FaultSecurity:
 			m.emit(Alert{
@@ -167,7 +198,7 @@ func (m *BusMonitor) ObserveTx(tx hw.Transaction, res hw.Result) {
 	// Attribute tampering: the transaction claims a higher world than
 	// the initiator was provisioned with. This fires even when the
 	// access *succeeded* — that is precisely the attack.
-	if prov, ok := m.cfg.ProvisionedWorlds[tx.Initiator]; ok && tx.World > prov {
+	if prov := ln.prov; prov != 0 && tx.World > prov {
 		m.emit(Alert{
 			Monitor: m.Name(), Resource: tx.Initiator, Severity: Critical,
 			Signature: SigBusWorldMismatch,
@@ -195,31 +226,36 @@ func (m *BusMonitor) ObserveTx(tx hw.Transaction, res hw.Result) {
 	}
 }
 
-// sampleRates runs once per rate window.
+// sampleRates runs once per rate window. Iterating the lane slice (not a
+// map) keeps the order of same-window rate alerts deterministic across
+// runs: lanes are visited in bus attach order.
 func (m *BusMonitor) sampleRates(at sim.VirtualTime) {
-	for initiator, n := range m.counts {
-		det, ok := m.detectors[initiator]
-		if !ok {
-			var err error
-			det, err = NewAnomaly(0.2, m.cfg.RateThreshold, m.cfg.RateWarmup)
+	for i := range m.lanes {
+		ln := &m.lanes[i]
+		if ln.name == "" {
+			continue // id space hole: initiator never issued a transaction
+		}
+		n := ln.count
+		ln.count = 0
+		if ln.det == nil {
+			det, err := NewAnomaly(0.2, m.cfg.RateThreshold, m.cfg.RateWarmup)
 			if err != nil {
 				// Config validated in NewBusMonitor; unreachable.
 				continue
 			}
-			m.detectors[initiator] = det
+			ln.det = det
 		}
-		score, bad := det.Observe(float64(n))
+		score, bad := ln.det.Observe(float64(n))
 		// Only upward deviations are flooding; a quiet resource (e.g.
 		// one the response manager just isolated) is not an attack.
-		if bad && float64(n) > det.Mean() {
+		if bad && float64(n) > ln.det.Mean() {
 			m.emit(Alert{
-				At: at, Monitor: m.Name(), Resource: initiator, Severity: Warning,
+				At: at, Monitor: m.Name(), Resource: ln.name, Severity: Warning,
 				Signature: SigBusRateAnomaly, Score: score,
 				Detail: fmt.Sprintf("%s issued %d txs in window (baseline %.1f±%.1f, z=%.1f)",
-					initiator, n, det.Mean(), det.StdDev(), score),
+					ln.name, n, ln.det.Mean(), ln.det.StdDev(), score),
 			})
 		}
-		m.counts[initiator] = 0
 	}
 }
 

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The event pool recycles slots after dispatch; a stale EventID must
+// never cancel the slot's new occupant.
+func TestCancelStaleIDAfterSlotReuse(t *testing.T) {
+	e := New(1)
+	oldID := e.MustSchedule(time.Millisecond, func() {})
+	e.Step() // fires; slot returns to the free list
+
+	if e.Cancel(oldID) {
+		t.Fatal("Cancel of already-fired event = true, want false")
+	}
+
+	// The next schedule reuses the slot with a bumped generation.
+	ran := false
+	newID := e.MustSchedule(time.Millisecond, func() { ran = true })
+	if e.Cancel(oldID) {
+		t.Fatal("stale ID cancelled the slot's new occupant")
+	}
+	e.Drain(10)
+	if !ran {
+		t.Fatal("new event did not run after stale-ID cancel attempt")
+	}
+	if e.Cancel(newID) {
+		t.Fatal("Cancel after dispatch = true, want false")
+	}
+}
+
+func TestCancelBogusIDs(t *testing.T) {
+	e := New(1)
+	if e.Cancel(0) {
+		t.Fatal("Cancel(0) = true, want false")
+	}
+	if e.Cancel(EventID(1<<40 | 999999)) {
+		t.Fatal("Cancel of out-of-range slot = true, want false")
+	}
+}
+
+// FIFO tie-break order at identical instants must survive slot reuse:
+// events recycled from the free list must not inherit stale sequence
+// numbers that would reorder them.
+func TestFIFOTieBreakAfterPoolReuse(t *testing.T) {
+	e := New(1)
+	// Populate and drain the pool so later schedules reuse slots in
+	// free-list (LIFO) order rather than allocation order.
+	for i := 0; i < 8; i++ {
+		e.MustSchedule(time.Microsecond, func() {})
+	}
+	e.Drain(100)
+
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.MustSchedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Drain(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order after pool reuse: %v", got)
+		}
+	}
+}
+
+// Cancelling an event in the middle of the heap must keep both heap order
+// and the remaining events intact.
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New(1)
+	var got []int
+	ids := make([]EventID, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		ids = append(ids, e.MustSchedule(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	if !e.Cancel(ids[4]) || !e.Cancel(ids[7]) {
+		t.Fatal("cancel of pending events failed")
+	}
+	e.Drain(100)
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+// A steady-state Schedule/Step cycle must not allocate: the event structs
+// are pooled and Cancel works without a pending map.
+func TestScheduleStepAllocFree(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 16; i++ {
+		e.MustSchedule(0, fn)
+	}
+	e.Drain(100)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.MustSchedule(0, fn)
+		e.Step()
+	})
+	if allocs > 1 {
+		t.Fatalf("Schedule+Step allocates %.1f objects per cycle, want <= 1", allocs)
+	}
+}
+
+// A steady-state ticker tick must not allocate: re-arming reuses the
+// ticker's cached closure and a pooled event.
+func TestTickerTickAllocFree(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	tk, err := NewTicker(e, time.Millisecond, func(VirtualTime) { ticks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	e.RunFor(5 * time.Millisecond) // warm up
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.RunFor(time.Millisecond)
+	})
+	if allocs > 1 {
+		t.Fatalf("ticker tick allocates %.1f objects, want <= 1", allocs)
+	}
+	if ticks < 1000 {
+		t.Fatalf("ticker only ticked %d times during the alloc run", ticks)
+	}
+}
+
+// Cancel from within the cancelled event's own dispatch must be a no-op
+// (the generation was bumped before the callback ran).
+func TestCancelSelfFromCallback(t *testing.T) {
+	e := New(1)
+	var id EventID
+	cancelled := true
+	id = e.MustSchedule(time.Millisecond, func() {
+		cancelled = e.Cancel(id)
+	})
+	e.Drain(10)
+	if cancelled {
+		t.Fatal("Cancel of the currently dispatching event = true, want false")
+	}
+}
+
+// Scheduling from inside a callback at the same instant must run later in
+// the same Drain, after events already queued for that instant.
+func TestScheduleFromCallbackSameInstant(t *testing.T) {
+	e := New(1)
+	var got []string
+	e.MustSchedule(time.Millisecond, func() {
+		got = append(got, "first")
+		e.MustSchedule(0, func() { got = append(got, "nested") })
+	})
+	e.MustSchedule(time.Millisecond, func() { got = append(got, "second") })
+	e.Drain(10)
+	want := []string{"first", "second", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -10,10 +10,14 @@
 // about architecture (who observes what, who is isolated from whom), not
 // about wall-clock concurrency, and a single-threaded event loop keeps
 // every experiment deterministic.
+//
+// The scheduler is allocation-free in steady state: dispatched event
+// structs are recycled through a free list and identified by a
+// slot+generation EventID, so Schedule/Step cycles do not grow the heap
+// and Cancel needs no per-event map entry.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -36,52 +40,26 @@ func (t VirtualTime) Duration() time.Duration { return time.Duration(t) }
 // String renders the instant as a duration since power-on, e.g. "1.5ms".
 func (t VirtualTime) String() string { return time.Duration(t).String() }
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. An ID packs
+// the event's pool slot and a generation counter; when the slot is reused
+// the generation changes, so a stale ID held after the event fired (or was
+// cancelled) can never cancel the slot's new occupant.
 type EventID uint64
+
+func makeID(slot, gen uint32) EventID { return EventID(uint64(gen)<<32 | uint64(slot+1)) }
 
 // event is a pending callback in the event queue. Events fire in
 // (time, seq) order; seq breaks ties deterministically in FIFO order.
+// Events are pooled: after dispatch or cancellation the struct returns to
+// the engine's free list with its generation bumped.
 type event struct {
-	at        VirtualTime
-	seq       uint64
-	id        EventID
-	fn        func()
-	cancelled bool
-	index     int // heap index
-}
-
-// eventQueue implements heap.Interface over pending events.
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	at       VirtualTime
+	seq      uint64
+	fn       func()
+	slot     uint32
+	gen      uint32
+	index    int32 // heap position, -1 when not queued
+	nextFree int32 // free-list link, -1 when none
 }
 
 // ErrPastTime reports an attempt to schedule an event before the current
@@ -93,14 +71,14 @@ var ErrPastTime = errors.New("sim: schedule time is in the past")
 //
 // An Engine must be created with New; the zero value is not usable.
 type Engine struct {
-	now     VirtualTime
-	queue   eventQueue
-	pending map[EventID]*event
-	nextSeq uint64
-	nextID  EventID
-	rng     *rand.Rand
-	trace   func(TraceEvent)
-	steps   uint64
+	now      VirtualTime
+	queue    []*event // binary heap ordered by (at, seq)
+	slots    []*event // slot index -> pooled event, stable addresses
+	freeHead int32    // head of the free-slot list, -1 when empty
+	nextSeq  uint64
+	rng      *rand.Rand
+	trace    func(TraceEvent)
+	steps    uint64
 }
 
 // TraceEvent describes one dispatched event, for debug tracing.
@@ -113,8 +91,8 @@ type TraceEvent struct {
 // New returns an Engine whose RNG is seeded with seed.
 func New(seed int64) *Engine {
 	return &Engine{
-		pending: make(map[EventID]*event),
-		rng:     rand.New(rand.NewSource(seed)),
+		freeHead: -1,
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -149,12 +127,21 @@ func (e *Engine) ScheduleAt(at VirtualTime, fn func()) (EventID, error) {
 	if fn == nil {
 		return 0, errors.New("sim: nil event function")
 	}
-	e.nextID++
+	var ev *event
+	if e.freeHead >= 0 {
+		ev = e.slots[e.freeHead]
+		e.freeHead = ev.nextFree
+	} else {
+		ev = &event{slot: uint32(len(e.slots))}
+		e.slots = append(e.slots, ev)
+	}
 	e.nextSeq++
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.pending[ev.id] = ev
-	return ev.id, nil
+	ev.at = at
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.nextFree = -1
+	e.heapPush(ev)
+	return makeID(ev.slot, ev.gen), nil
 }
 
 // MustSchedule is Schedule but panics on error. It is intended for fixed
@@ -167,56 +154,61 @@ func (e *Engine) MustSchedule(delay time.Duration, fn func()) EventID {
 	return id
 }
 
+// release returns a dispatched or cancelled event to the pool. Bumping the
+// generation invalidates every outstanding EventID for the slot.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.index = -1
+	ev.nextFree = e.freeHead
+	e.freeHead = int32(ev.slot)
+}
+
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false if it already ran, was cancelled, or never existed).
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.pending[id]
-	if !ok {
+	slot := uint32(id & 0xffffffff)
+	if slot == 0 || int(slot) > len(e.slots) {
 		return false
 	}
-	delete(e.pending, id)
-	ev.cancelled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
+	ev := e.slots[slot-1]
+	if ev.gen != uint32(id>>32) || ev.index < 0 {
+		return false
 	}
+	e.heapRemove(int(ev.index))
+	e.release(ev)
 	return true
 }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int { return len(e.pending) }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Step dispatches the next event, advancing the clock to its instant.
 // It reports whether an event was dispatched.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		delete(e.pending, ev.id)
-		e.now = ev.at
-		e.steps++
-		if e.trace != nil {
-			e.trace(TraceEvent{At: ev.at, ID: ev.id, Seq: ev.seq})
-		}
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.heapPop()
+	e.now = ev.at
+	e.steps++
+	fn := ev.fn
+	if e.trace != nil {
+		e.trace(TraceEvent{At: ev.at, ID: makeID(ev.slot, ev.gen), Seq: ev.seq})
+	}
+	// Release before running fn: the slot is immediately reusable and a
+	// stale Cancel from inside fn (e.g. a ticker stopping itself) fails
+	// the generation check instead of corrupting the queue.
+	e.release(ev)
+	fn()
+	return true
 }
 
 // RunUntil dispatches events until the queue is empty or the next event
 // lies beyond deadline. The clock is left at the later of its current
 // value and deadline.
 func (e *Engine) RunUntil(deadline VirtualTime) {
-	for e.queue.Len() > 0 {
-		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
-			break
-		}
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -238,24 +230,94 @@ func (e *Engine) Drain(limit uint64) uint64 {
 	return n
 }
 
-func (e *Engine) peek() *event {
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if ev.cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return ev
+// less orders the heap by (at, seq).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.index = int32(len(e.queue))
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) heapPop() *event {
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[0].index = 0
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return ev
+}
+
+func (e *Engine) heapRemove(i int) {
+	n := len(e.queue) - 1
+	if i != n {
+		e.queue[i] = e.queue[n]
+		e.queue[i].index = int32(i)
+	}
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i < n {
+		if !e.siftUp(i) {
+			e.siftDown(i)
+		}
+	}
+}
+
+// siftUp restores heap order above i; it reports whether i moved.
+func (e *Engine) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.queue[i], e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		e.queue[i].index = int32(i)
+		e.queue[parent].index = int32(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(e.queue[right], e.queue[left]) {
+			least = right
+		}
+		if !eventLess(e.queue[least], e.queue[i]) {
+			return
+		}
+		e.queue[i], e.queue[least] = e.queue[least], e.queue[i]
+		e.queue[i].index = int32(i)
+		e.queue[least].index = int32(least)
+		i = least
+	}
 }
 
 // Ticker invokes a callback periodically until stopped. It is the
-// building block for sampling monitors and heartbeats.
+// building block for sampling monitors and heartbeats. Re-arming reuses a
+// single cached closure, so a steady-state tick costs no allocations.
 type Ticker struct {
 	engine  *Engine
 	period  time.Duration
 	fn      func(VirtualTime)
+	tickFn  func() // cached bound method; reused by every arm
 	id      EventID
 	stopped bool
 }
@@ -270,20 +332,23 @@ func NewTicker(engine *Engine, period time.Duration, fn func(VirtualTime)) (*Tic
 		return nil, errors.New("sim: nil ticker function")
 	}
 	t := &Ticker{engine: engine, period: period, fn: fn}
+	t.tickFn = t.tick
 	t.arm()
 	return t, nil
 }
 
 func (t *Ticker) arm() {
-	t.id = t.engine.MustSchedule(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn(t.engine.Now())
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.id = t.engine.MustSchedule(t.period, t.tickFn)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.engine.Now())
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels future ticks. It is safe to call more than once.

@@ -112,8 +112,8 @@ func (t *TEE) Secret(name string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrSecretUnknown, name)
 	}
 	t.worldSwitch++
-	data, err := t.init.Read(slot.addr, slot.size)
-	if err != nil {
+	data := make([]byte, slot.size)
+	if err := t.init.ReadInto(slot.addr, data); err != nil {
 		return nil, fmt.Errorf("tee: read secret: %w", err)
 	}
 	return data, nil
