@@ -1,0 +1,181 @@
+// Command benchdiff compares a freshly generated BENCH_perf.json
+// against the committed baseline and exits non-zero on a performance
+// regression — the CI guard that keeps the simulator's monitoring hot
+// path from silently slowing down or re-growing heap traffic.
+//
+// Two checks run over the E9 monitoring-overhead rows (matched by
+// configuration name):
+//
+//   - ns/tx: the fresh value must not exceed the baseline by more than
+//     -max-regress (default 25%). With -normalize, the comparison is on
+//     each configuration's overhead ratio against its own file's
+//     no-monitoring row, which cancels out raw machine-speed
+//     differences between the baseline host and the CI runner.
+//   - allocs/tx: any fresh value above zero fails outright; the hot
+//     path is allocation-free and must stay that way.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-normalize]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the cresbench BENCH_perf.json schema (the fields
+// benchdiff consumes).
+type benchFile struct {
+	Schema string  `json:"schema"`
+	E9     benchE9 `json:"e9"`
+}
+
+type benchE9 struct {
+	Txs  int          `json:"txs"`
+	Rows []benchE9Row `json:"rows"`
+}
+
+type benchE9Row struct {
+	Config      string  `json:"config"`
+	NsPerTx     float64 `json:"ns_per_tx"`
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+}
+
+// baselineConfig is the E9 row every other row normalizes against.
+const baselineConfig = "no-monitoring"
+
+func main() {
+	basePath := flag.String("base", "BENCH_perf.json", "committed baseline report")
+	newPath := flag.String("new", "", "freshly generated report to check")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/tx regression")
+	normalize := flag.Bool("normalize", false, "compare overhead ratios vs the no-monitoring row instead of raw ns/tx")
+	flag.Parse()
+
+	if err := run(*basePath, *newPath, *maxRegress, *normalize, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, newPath string, maxRegress float64, normalize bool, out *os.File) error {
+	if newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	problems, lines := compare(base, fresh, maxRegress, normalize)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d perf regression(s):\n  %s", len(problems), joinLines(problems))
+	}
+	fmt.Fprintln(out, "benchdiff: no regression")
+	return nil
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.E9.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no E9 rows (schema %q)", path, f.Schema)
+	}
+	return &f, nil
+}
+
+// compare checks fresh against base and returns the failures plus a
+// human-readable comparison table.
+func compare(base, fresh *benchFile, maxRegress float64, normalize bool) (problems, lines []string) {
+	baseRows := make(map[string]benchE9Row, len(base.E9.Rows))
+	for _, r := range base.E9.Rows {
+		baseRows[r.Config] = r
+	}
+
+	baseRef, freshRef := 1.0, 1.0
+	if normalize {
+		br, ok := baseRows[baselineConfig]
+		if !ok {
+			return []string{fmt.Sprintf("baseline report lacks the %q row needed by -normalize", baselineConfig)}, nil
+		}
+		fr, ok := findRow(fresh.E9.Rows, baselineConfig)
+		if !ok {
+			return []string{fmt.Sprintf("fresh report lacks the %q row needed by -normalize", baselineConfig)}, nil
+		}
+		if br.NsPerTx <= 0 || fr.NsPerTx <= 0 {
+			return []string{fmt.Sprintf("%q ns/tx must be positive to normalize", baselineConfig)}, nil
+		}
+		baseRef, freshRef = br.NsPerTx, fr.NsPerTx
+	}
+
+	metric := "ns/tx"
+	if normalize {
+		metric = "ns/tx ratio vs " + baselineConfig
+	}
+	lines = append(lines, fmt.Sprintf("E9 comparison (%s, limit +%.0f%%):", metric, maxRegress*100))
+
+	for _, fr := range fresh.E9.Rows {
+		br, ok := baseRows[fr.Config]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("config %q missing from baseline", fr.Config))
+			continue
+		}
+		if fr.AllocsPerTx > 0 {
+			problems = append(problems, fmt.Sprintf("%s: %.4f allocs/tx — hot path must stay allocation-free", fr.Config, fr.AllocsPerTx))
+		}
+		oldV, newV := br.NsPerTx/baseRef, fr.NsPerTx/freshRef
+		delta := 0.0
+		if oldV > 0 {
+			delta = newV/oldV - 1
+		}
+		status := "ok"
+		if normalize && fr.Config == baselineConfig {
+			status = "reference"
+		} else if delta > maxRegress {
+			status = "REGRESSION"
+			problems = append(problems, fmt.Sprintf("%s: %s %.3f -> %.3f (%+.1f%%, limit %+.0f%%)",
+				fr.Config, metric, oldV, newV, delta*100, maxRegress*100))
+		}
+		lines = append(lines, fmt.Sprintf("  %-32s %10.3f -> %10.3f  (%+6.1f%%)  %s", fr.Config, oldV, newV, delta*100, status))
+	}
+	for _, br := range base.E9.Rows {
+		if _, ok := findRow(fresh.E9.Rows, br.Config); !ok {
+			problems = append(problems, fmt.Sprintf("config %q dropped from fresh report", br.Config))
+		}
+	}
+	return problems, lines
+}
+
+func findRow(rows []benchE9Row, config string) (benchE9Row, bool) {
+	for _, r := range rows {
+		if r.Config == config {
+			return r, true
+		}
+	}
+	return benchE9Row{}, false
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

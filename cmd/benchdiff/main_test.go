@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(rows ...benchE9Row) *benchFile {
+	return &benchFile{Schema: "cres-bench/v1", E9: benchE9{Txs: 200_000, Rows: rows}}
+}
+
+func row(config string, ns, allocs float64) benchE9Row {
+	return benchE9Row{Config: config, NsPerTx: ns, AllocsPerTx: allocs}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0))
+	fresh := report(row("no-monitoring", 17, 0), row("bus-monitor", 23, 0))
+	problems, _ := compare(base, fresh, 0.25, false)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0))
+	fresh := report(row("no-monitoring", 16, 0), row("bus-monitor", 40, 0))
+	problems, _ := compare(base, fresh, 0.25, false)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bus-monitor") {
+		t.Fatalf("problems = %v, want one bus-monitor regression", problems)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0))
+	fresh := report(row("no-monitoring", 19.9, 0)) // +24.4%
+	if problems, _ := compare(base, fresh, 0.25, false); len(problems) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", problems)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0))
+	fresh := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0.5))
+	problems, _ := compare(base, fresh, 0.25, false)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/tx") {
+		t.Fatalf("problems = %v, want one allocation regression", problems)
+	}
+}
+
+// TestCompareNormalizedIgnoresMachineSpeed models a CI runner that is
+// uniformly 3x slower than the baseline host: raw comparison would flag
+// every row, normalized comparison must flag none — while a genuine
+// monitoring-path slowdown (ratio increase) must still be caught.
+func TestCompareNormalizedIgnoresMachineSpeed(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0))
+	slowHost := report(row("no-monitoring", 48, 0), row("bus-monitor", 66, 0))
+	if problems, _ := compare(base, slowHost, 0.25, true); len(problems) != 0 {
+		t.Fatalf("uniform slowdown flagged under -normalize: %v", problems)
+	}
+	if problems, _ := compare(base, slowHost, 0.25, false); len(problems) == 0 {
+		t.Fatal("raw comparison should flag a 3x slower host (sanity check)")
+	}
+
+	ratioRegress := report(row("no-monitoring", 48, 0), row("bus-monitor", 120, 0)) // ratio 1.375 -> 2.5
+	problems, _ := compare(base, ratioRegress, 0.25, true)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bus-monitor") {
+		t.Fatalf("problems = %v, want one normalized regression", problems)
+	}
+}
+
+func TestCompareFlagsMissingAndDroppedConfigs(t *testing.T) {
+	base := report(row("no-monitoring", 16, 0), row("bus-monitor", 22, 0))
+	fresh := report(row("no-monitoring", 16, 0), row("brand-new", 1, 0))
+	problems, _ := compare(base, fresh, 0.25, false)
+	joined := strings.Join(problems, "; ")
+	if !strings.Contains(joined, "brand-new") || !strings.Contains(joined, "bus-monitor") {
+		t.Fatalf("problems = %v, want missing + dropped config flagged", problems)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *benchFile) string {
+		t.Helper()
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", report(row("no-monitoring", 16, 0)))
+	goodPath := write("good.json", report(row("no-monitoring", 16.5, 0)))
+	badPath := write("bad.json", report(row("no-monitoring", 30, 0)))
+
+	if err := run(basePath, goodPath, 0.25, false, os.Stdout); err != nil {
+		t.Fatalf("clean comparison failed: %v", err)
+	}
+	if err := run(basePath, badPath, 0.25, false, os.Stdout); err == nil {
+		t.Fatal("regression passed the gate")
+	}
+	if err := run(basePath, "", 0.25, false, os.Stdout); err == nil {
+		t.Fatal("missing -new accepted")
+	}
+	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, false, os.Stdout); err == nil {
+		t.Fatal("unreadable fresh report accepted")
+	}
+}

@@ -1,14 +1,27 @@
-// Command cresbench runs the complete experiment suite (E1–E10) and
-// prints every table and series — the data behind EXPERIMENTS.md.
+// Command cresbench runs the complete experiment suite (E1–E11) from
+// the harness registry and prints every table and series — the data
+// behind EXPERIMENTS.md.
+//
+// Independent simulation runs inside each experiment fan out across a
+// worker pool (-parallel); shard seeds derive deterministically from
+// the root seed, and results merge in shard order, so the printed
+// tables are byte-identical at any parallelism — the property the CI
+// determinism gate enforces by diffing -parallel=1 against -parallel=8
+// (with -stable masking the host-clock cells of E9).
 //
 // It also emits a machine-readable benchmark artifact (BENCH_perf.json)
 // recording host-CPU ns/op for each experiment and the E9 ablation's
-// ns/tx and allocs/tx, so the perf trajectory of the simulator's hot
-// paths is tracked across PRs.
+// ns/tx and allocs/tx, which cmd/benchdiff compares against the
+// committed baseline to gate perf regressions.
+//
+// -campaign switches to the E12 scenario campaign: every attack
+// scenario × {cres, baseline} × -shards seeds, printed as one outcome
+// matrix.
 //
 // Usage:
 //
-//	cresbench [-seed 7] [-quick] [-json BENCH_perf.json]
+//	cresbench [-seed 7] [-quick] [-parallel N] [-only E3,E9] [-stable] [-json BENCH_perf.json]
+//	cresbench -campaign [-shards 3] [-seed 7] [-parallel N] [-json campaign.json]
 package main
 
 import (
@@ -16,17 +29,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"strings"
 
 	"cres"
+	"cres/internal/harness"
 )
 
+// options collects the CLI flags.
+type options struct {
+	seed     int64
+	quick    bool
+	jsonPath string
+	parallel int
+	campaign bool
+	shards   int
+	only     string
+	stable   bool
+}
+
 func main() {
-	seed := flag.Int64("seed", 7, "simulation seed")
-	quick := flag.Bool("quick", false, "smaller sweeps for a fast run")
-	jsonPath := flag.String("json", "BENCH_perf.json", "write the machine-readable benchmark report here (empty to disable)")
+	var o options
+	flag.Int64Var(&o.seed, "seed", 7, "simulation root seed; shard seeds derive from it")
+	flag.BoolVar(&o.quick, "quick", false, "smaller sweeps for a fast run")
+	flag.StringVar(&o.jsonPath, "json", "BENCH_perf.json", "write the machine-readable report here (empty to disable)")
+	flag.IntVar(&o.parallel, "parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.campaign, "campaign", false, "run the E12 scenario campaign instead of the experiment suite")
+	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per scenario × architecture cell")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment filter, e.g. E3,E9 (suite mode)")
+	flag.BoolVar(&o.stable, "stable", false, "mask host-clock readings so output is byte-identical across runs")
 	flag.Parse()
-	if err := run(*seed, *quick, *jsonPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cresbench:", err)
 		os.Exit(1)
 	}
@@ -60,139 +92,133 @@ type benchExperiment struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-func run(seed int64, quick bool, jsonPath string) error {
+// campaignReport is the schema of the -campaign JSON artifact.
+type campaignReport struct {
+	Schema             string  `json:"schema"`
+	Seed               int64   `json:"seed"`
+	SeedsPerCell       int     `json:"seeds_per_cell"`
+	Cells              int     `json:"cells"`
+	CRESDetectRate     float64 `json:"cres_detect_rate"`
+	CRESRecoverRate    float64 `json:"cres_recover_rate"`
+	BaselineDetectRate float64 `json:"baseline_detect_rate"`
+}
+
+func run(o options) error {
+	pool := harness.NewPool(o.parallel)
+	if o.campaign {
+		return runCampaign(o, pool)
+	}
+	return runSuite(o, pool)
+}
+
+// runSuite iterates the experiment registry in registration (print)
+// order. Experiments run one after another — each fans its own shards
+// across the pool — so E9's serial host-clock measurement is never
+// contended by other experiments.
+func runSuite(o options, pool *harness.Pool) error {
 	fmt.Println("CRES experiment suite — reproduction of Siddiqui, Hagan & Sezer, IEEE SOCC 2019")
 	fmt.Println()
 
-	report := benchReport{Schema: "cres-bench/v1", Seed: seed, Quick: quick}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(o.only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
+	for name := range selected {
+		if _, ok := harness.Lookup(name); !ok {
+			return fmt.Errorf("unknown experiment %q in -only (registry has %s)", name, registryNames())
+		}
+	}
 
-	// E2 then E1: the figure gives the framework context for the table.
-	e2 := cres.RunE2Figure1()
-	fmt.Println(e2.Rendered)
-	fmt.Println(e2.Association.Render())
-
-	e1 := cres.RunE1TableI()
-	fmt.Println(e1.Table.Render())
-	fmt.Println(e1.CoverageTable.Render())
-	fmt.Printf("Derived research gaps: %v\n\n", e1.Gaps)
-
-	e3, err := timedRun(&report, "E3", func() (*cres.E3Result, error) { return cres.RunE3DetectionMatrix(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e3.Table.Render())
-
-	e3b, err := timedRun(&report, "E3b", func() (*cres.E3bResult, error) { return cres.RunE3bDetectionAblation(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e3b.Table.Render())
-
-	e4, err := timedRun(&report, "E4", func() (*cres.E4Result, error) { return cres.RunE4EvidenceContinuity(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e4.Table.Render())
-
-	window := 600 * time.Millisecond
-	if quick {
-		window = 300 * time.Millisecond
-	}
-	e5, err := timedRun(&report, "E5", func() (*cres.E5Result, error) { return cres.RunE5GracefulDegradation(seed, window) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e5.Table.Render())
-
-	e6, err := timedRun(&report, "E6", func() (*cres.E6Result, error) { return cres.RunE6Recovery(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e6.Table.Render())
-
-	e7, err := timedRun(&report, "E7", func() (*cres.E7Result, error) { return cres.RunE7Rollback(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e7.Table.Render())
-
-	sizes := []int{4, 16, 64, 256}
-	if quick {
-		sizes = []int{4, 16, 64}
-	}
-	e8, err := timedRun(&report, "E8", func() (*cres.E8Result, error) { return cres.RunE8FleetAttestation(sizes, seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e8.Table.Render())
-	fmt.Println(e8.Series.Render())
-
-	txs := 200_000
-	if quick {
-		txs = 50_000
-	}
-	e9, err := timedRun(&report, "E9", func() (*cres.E9Result, error) { return cres.RunE9MonitorOverhead(txs) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e9.Table.Render())
-	report.E9.Txs = txs
-	for _, r := range e9.Rows {
-		report.E9.Rows = append(report.E9.Rows, benchE9Row{
-			Config:      r.Config,
-			NsPerTx:     r.WallNsPerTx,
-			AllocsPerTx: r.AllocsPerTx,
-			Alerts:      r.Alerts,
+	rep := benchReport{Schema: "cres-bench/v1", Seed: o.seed, Quick: o.quick}
+	ctx := &harness.Context{Seed: o.seed, Quick: o.quick, Stable: o.stable, Pool: pool}
+	for _, exp := range harness.Experiments() {
+		if len(selected) > 0 && !selected[exp.Name] {
+			continue
+		}
+		out, err := exp.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.Name, err)
+		}
+		// NsPerOp is measured by the runner around the computation only,
+		// so the artifact tracks the simulator, not the rendering.
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			Name:    exp.Name,
+			NsPerOp: out.NsPerOp,
 		})
+		for _, block := range out.Blocks {
+			fmt.Println(block)
+		}
+		if e9, ok := out.Payload.(*cres.E9Result); ok {
+			rep.E9.Txs = e9.Txs
+			for _, r := range e9.Rows {
+				rep.E9.Rows = append(rep.E9.Rows, benchE9Row{
+					Config:      r.Config,
+					NsPerTx:     r.WallNsPerTx,
+					AllocsPerTx: r.AllocsPerTx,
+					Alerts:      r.Alerts,
+				})
+			}
+		}
 	}
 
-	e10, err := timedRun(&report, "E10", func() (*cres.E10Result, error) { return cres.RunE10CovertChannel(seed) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e10.Table.Render())
-	fmt.Println(e10.Series.Render())
-
-	e11, err := timedRun(&report, "E11", func() (*cres.E11Result, error) { return cres.RunE11PointerAuth(seed, 500) })
-	if err != nil {
-		return err
-	}
-	fmt.Println(e11.Table.Render())
-
-	if jsonPath != "" {
-		if err := writeReport(jsonPath, &report); err != nil {
+	if o.jsonPath != "" {
+		if err := writeJSON(o.jsonPath, &rep); err != nil {
 			return err
 		}
-		fmt.Printf("wrote benchmark report to %s\n", jsonPath)
+		fmt.Printf("wrote benchmark report to %s\n", o.jsonPath)
 	}
 	return nil
 }
 
-// timedRun times one experiment's computation and appends it to the
-// report. Only fn itself is measured — rendering and printing happen
-// outside, so ns_per_op tracks the simulator, not the log sink.
-func timedRun[T any](report *benchReport, name string, fn func() (T, error)) (T, error) {
-	start := time.Now()
-	out, err := fn()
+// runCampaign runs the E12 scenario campaign matrix.
+func runCampaign(o options, pool *harness.Pool) error {
+	fmt.Println("CRES scenario campaign — attack suite × {cres, baseline} × seeds")
+	fmt.Println()
+	res, err := cres.RunE12Campaign(cres.CampaignConfig{
+		RootSeed: o.seed,
+		Seeds:    o.shards,
+	}, cres.WithRunPool(pool))
 	if err != nil {
-		var zero T
-		return zero, err
+		return err
 	}
-	report.Experiments = append(report.Experiments, benchExperiment{
-		Name:    name,
-		NsPerOp: float64(time.Since(start).Nanoseconds()),
-	})
-	return out, nil
+	fmt.Println(res.Table.Render())
+
+	if o.jsonPath != "" {
+		rep := campaignReport{
+			Schema:             "cres-campaign/v1",
+			Seed:               o.seed,
+			SeedsPerCell:       o.shards,
+			Cells:              len(res.Cells),
+			CRESDetectRate:     res.CRESDetectRate,
+			CRESRecoverRate:    res.CRESRecoverRate,
+			BaselineDetectRate: res.BaselineDetectRate,
+		}
+		if err := writeJSON(o.jsonPath, &rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote campaign report to %s\n", o.jsonPath)
+	}
+	return nil
 }
 
-func writeReport(path string, report *benchReport) error {
-	data, err := json.MarshalIndent(report, "", "  ")
+func registryNames() string {
+	var names []string
+	for _, e := range harness.Experiments() {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return fmt.Errorf("marshal benchmark report: %w", err)
+		return fmt.Errorf("marshal report: %w", err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("write benchmark report: %w", err)
+		return fmt.Errorf("write report: %w", err)
 	}
 	return nil
 }

@@ -12,7 +12,7 @@ func TestRunQuick(t *testing.T) {
 		t.Skip("full experiment suite")
 	}
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_perf.json")
-	if err := run(7, true, jsonPath); err != nil {
+	if err := run(options{seed: 7, quick: true, jsonPath: jsonPath, parallel: 4, shards: 2}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -30,6 +30,9 @@ func TestRunQuick(t *testing.T) {
 	if len(report.E9.Rows) != 4 {
 		t.Fatalf("E9 rows = %d, want 4", len(report.E9.Rows))
 	}
+	if report.E9.Txs != 50_000 {
+		t.Fatalf("E9 txs = %d, want the quick sweep's 50000", report.E9.Txs)
+	}
 	for _, row := range report.E9.Rows {
 		if row.NsPerTx <= 0 {
 			t.Errorf("E9 %s: ns/tx = %v, want > 0", row.Config, row.NsPerTx)
@@ -42,5 +45,56 @@ func TestRunQuick(t *testing.T) {
 		if exp.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op = %v, want > 0", exp.Name, exp.NsPerOp)
 		}
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "only.json")
+	if err := run(options{seed: 7, quick: true, jsonPath: jsonPath, parallel: 2, only: "E7,E11", shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Experiments) != 2 {
+		t.Fatalf("experiments = %+v, want exactly E7 and E11", report.Experiments)
+	}
+	if report.Experiments[0].Name != "E7" || report.Experiments[1].Name != "E11" {
+		t.Fatalf("filtered experiments = %+v", report.Experiments)
+	}
+}
+
+func TestRunRejectsUnknownOnly(t *testing.T) {
+	if err := run(options{seed: 7, quick: true, only: "E99", shards: 2}); err == nil {
+		t.Fatal("unknown -only experiment accepted")
+	}
+}
+
+func TestRunCampaign(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "campaign.json")
+	if err := run(options{seed: 7, campaign: true, shards: 1, parallel: 4, jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("campaign report not written: %v", err)
+	}
+	var rep campaignReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cres-campaign/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Cells != 22 {
+		t.Fatalf("cells = %d, want 22 (11 scenarios × 2 architectures × 1 seed)", rep.Cells)
+	}
+	if rep.CRESDetectRate != 1.0 || rep.BaselineDetectRate != 0.0 {
+		t.Fatalf("rates: cres=%v baseline=%v", rep.CRESDetectRate, rep.BaselineDetectRate)
 	}
 }

@@ -2,11 +2,16 @@
 // prints the outcome: what the monitors saw, what the security manager
 // did, how the services fared, and the forensic reconstruction.
 //
+// The -campaign mode runs the full scenario campaign instead: every
+// attack scenario × {cres, baseline} × -shards derived seeds, fanned
+// across -parallel workers, printed as one outcome matrix.
+//
 // Usage:
 //
 //	cresim -list
 //	cresim -scenario code-injection [-arch cres|baseline] [-seed 7]
 //	cresim -all
+//	cresim -campaign [-shards 3] [-parallel N] [-seed 7]
 package main
 
 import (
@@ -17,52 +22,81 @@ import (
 
 	"cres"
 	"cres/internal/attack"
+	"cres/internal/harness"
 )
 
+// options collects the CLI flags.
+type options struct {
+	list     bool
+	scenario string
+	all      bool
+	arch     string
+	seed     int64
+	campaign bool
+	shards   int
+	parallel int
+}
+
 func main() {
-	list := flag.Bool("list", false, "list available attack scenarios")
-	name := flag.String("scenario", "", "scenario to run (see -list)")
-	all := flag.Bool("all", false, "run every scenario")
-	arch := flag.String("arch", "cres", "architecture: cres or baseline")
-	seed := flag.Int64("seed", 7, "simulation seed")
+	var o options
+	flag.BoolVar(&o.list, "list", false, "list available attack scenarios")
+	flag.StringVar(&o.scenario, "scenario", "", "scenario to run (see -list)")
+	flag.BoolVar(&o.all, "all", false, "run every scenario")
+	flag.StringVar(&o.arch, "arch", "cres", "architecture: cres or baseline")
+	flag.Int64Var(&o.seed, "seed", 7, "simulation seed (campaign: root seed)")
+	flag.BoolVar(&o.campaign, "campaign", false, "run the scenario campaign matrix")
+	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per scenario × architecture cell")
+	flag.IntVar(&o.parallel, "parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*list, *name, *all, *arch, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cresim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, name string, all bool, archName string, seed int64) error {
-	if list {
+func run(o options) error {
+	if o.list {
 		for _, sc := range attack.Suite() {
 			fmt.Printf("%-22s %s\n", sc.Name(), sc.Description())
 		}
 		return nil
 	}
 
+	if o.campaign {
+		res, err := cres.RunE12Campaign(cres.CampaignConfig{
+			RootSeed: o.seed,
+			Seeds:    o.shards,
+		}, cres.WithRunPool(harness.NewPool(o.parallel)))
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		return nil
+	}
+
 	var arch cres.Architecture
-	switch archName {
+	switch o.arch {
 	case "cres":
 		arch = cres.ArchCRES
 	case "baseline":
 		arch = cres.ArchBaseline
 	default:
-		return fmt.Errorf("unknown architecture %q", archName)
+		return fmt.Errorf("unknown architecture %q", o.arch)
 	}
 
 	var scenarios []attack.Scenario
 	for _, sc := range attack.Suite() {
-		if all || sc.Name() == name {
+		if o.all || sc.Name() == o.scenario {
 			scenarios = append(scenarios, sc)
 		}
 	}
 	if len(scenarios) == 0 {
-		return fmt.Errorf("no scenario %q (use -list)", name)
+		return fmt.Errorf("no scenario %q (use -list)", o.scenario)
 	}
 
 	for _, sc := range scenarios {
-		if err := runOne(sc, arch, seed); err != nil {
+		if err := runOne(sc, arch, o.seed); err != nil {
 			return fmt.Errorf("%s: %w", sc.Name(), err)
 		}
 	}

@@ -3,31 +3,37 @@ package main
 import "testing"
 
 func TestList(t *testing.T) {
-	if err := run(true, "", false, "cres", 7); err != nil {
+	if err := run(options{list: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleScenarioCRES(t *testing.T) {
-	if err := run(false, "secure-probe", false, "cres", 7); err != nil {
+	if err := run(options{scenario: "secure-probe", arch: "cres", seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleScenarioBaseline(t *testing.T) {
-	if err := run(false, "secure-probe", false, "baseline", 7); err != nil {
+	if err := run(options{scenario: "secure-probe", arch: "baseline", seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownScenario(t *testing.T) {
-	if err := run(false, "nope", false, "cres", 7); err == nil {
+	if err := run(options{scenario: "nope", arch: "cres", seed: 7}); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 }
 
 func TestUnknownArchitecture(t *testing.T) {
-	if err := run(false, "secure-probe", false, "riscv", 7); err == nil {
+	if err := run(options{scenario: "secure-probe", arch: "riscv", seed: 7}); err == nil {
 		t.Fatal("unknown architecture accepted")
+	}
+}
+
+func TestCampaignMode(t *testing.T) {
+	if err := run(options{campaign: true, seed: 7, shards: 1, parallel: 2}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cres/internal/attack"
+	"cres/internal/harness"
 	"cres/internal/m2m"
 	"cres/internal/report"
 	"cres/internal/sim"
@@ -43,54 +44,53 @@ func newTestbedWithMode(seed int64, mode DetectionMode) (*testbed, error) {
 }
 
 // RunE3bDetectionAblation runs the attack suite under the three
-// detection modes.
-func RunE3bDetectionAblation(seed int64) (*E3bResult, error) {
+// detection modes. Each (mode, scenario) cell is an independent shard.
+func RunE3bDetectionAblation(seed int64, opts ...RunOption) (*E3bResult, error) {
+	rc := newRunCfg(opts)
 	modes := []DetectionMode{DetectSignatureOnly, DetectAnomalyOnly, DetectCombined}
-	detected := make(map[string]map[DetectionMode]bool)
-	var order []string
+	suite := attack.Suite()
 
-	for _, mode := range modes {
-		for _, sc := range attack.Suite() {
-			tb, err := newTestbedWithMode(seed, mode)
-			if err != nil {
-				return nil, err
-			}
-			if err := tb.warm(15 * time.Millisecond); err != nil {
-				return nil, err
-			}
-			if err := sc.Launch(tb.tgt); err != nil {
-				return nil, err
-			}
-			tb.dev.RunFor(30 * time.Millisecond)
-			// Under ablation, ANY alert attributable to the attack
-			// counts as detection — the expected signature may be
-			// disabled while another family still catches the activity.
-			hit := tb.dev.SSM.AlertsHandled() > 0
-			if detected[sc.Name()] == nil {
-				detected[sc.Name()] = make(map[DetectionMode]bool)
-				order = append(order, sc.Name())
-			}
-			detected[sc.Name()][mode] = hit
+	hits, err := harness.Map(rc.pool, len(modes)*len(suite), seed, func(sh harness.Shard) (bool, error) {
+		mode := modes[sh.Index/len(suite)]
+		sc := suite[sh.Index%len(suite)]
+		tb, err := newTestbedWithMode(sh.Seed, mode)
+		if err != nil {
+			return false, err
 		}
+		if err := tb.warm(15 * time.Millisecond); err != nil {
+			return false, err
+		}
+		if err := sc.Launch(tb.tgt); err != nil {
+			return false, err
+		}
+		tb.dev.RunFor(30 * time.Millisecond)
+		// Under ablation, ANY alert attributable to the attack counts as
+		// detection — the expected signature may be disabled while
+		// another family still catches the activity.
+		return tb.dev.SSM.AlertsHandled() > 0, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	detected := func(mode, scenario int) bool { return hits[mode*len(suite)+scenario] }
 
 	res := &E3bResult{Rates: make(map[string]float64)}
 	counts := make(map[DetectionMode]int)
-	for _, name := range order {
+	for i, sc := range suite {
 		row := E3bRow{
-			Scenario:  name,
-			Signature: detected[name][DetectSignatureOnly],
-			Anomaly:   detected[name][DetectAnomalyOnly],
-			Combined:  detected[name][DetectCombined],
+			Scenario:  sc.Name(),
+			Signature: detected(0, i),
+			Anomaly:   detected(1, i),
+			Combined:  detected(2, i),
 		}
 		res.Rows = append(res.Rows, row)
-		for _, mode := range modes {
-			if detected[name][mode] {
-				counts[mode]++
+		for m := range modes {
+			if detected(m, i) {
+				counts[modes[m]]++
 			}
 		}
 	}
-	n := float64(len(order))
+	n := float64(len(suite))
 	res.Rates["signature-only"] = float64(counts[DetectSignatureOnly]) / n
 	res.Rates["anomaly-only"] = float64(counts[DetectAnomalyOnly]) / n
 	res.Rates["combined"] = float64(counts[DetectCombined]) / n

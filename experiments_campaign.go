@@ -1,0 +1,254 @@
+package cres
+
+import (
+	"fmt"
+	"time"
+
+	"cres/internal/attack"
+	"cres/internal/core"
+	"cres/internal/harness"
+	"cres/internal/report"
+	"cres/internal/sim"
+)
+
+// This file implements E12, the scenario campaign: the full cross
+// product of every attack scenario × {cres, baseline} × N seeds, each
+// cell an independent device run on its own shard. Where E3 answers
+// "does CRES detect scenario X at one seed", the campaign answers the
+// paper's stronger claim — detection, response AND recovery hold across
+// the whole scenario space regardless of the simulation's random
+// stream — and it is the workload that exercises the sharded harness
+// hardest (22 × N independent engines).
+
+// CampaignConfig parameterises RunE12Campaign.
+type CampaignConfig struct {
+	// RootSeed seeds the campaign; every cell derives its own engine
+	// seed from it. Zero is a valid root seed — it is used as given,
+	// never substituted.
+	RootSeed int64
+	// Seeds is the number of seed replicas per (scenario, architecture)
+	// cell. Default 3.
+	Seeds int
+	// Scenarios selects the attack scenarios. Default: the full suite.
+	Scenarios []attack.Scenario
+	// Warm is the healthy-workload period before the attack (default
+	// 15ms) and Window the observation period after launch (default
+	// 30ms).
+	Warm, Window time.Duration
+}
+
+func (c *CampaignConfig) fillDefaults() {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Scenarios == nil {
+		c.Scenarios = attack.Suite()
+	}
+	if c.Warm <= 0 {
+		c.Warm = 15 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Millisecond
+	}
+}
+
+// E12Cell is one campaign run: one scenario on one architecture at one
+// derived seed.
+type E12Cell struct {
+	Scenario  string
+	Arch      string
+	SeedIndex int
+	Seed      int64
+	// Detected: CRES saw every expected signature; baseline logged
+	// anything at all during the attack window.
+	Detected bool
+	// Latency is virtual time from launch to first expected-signature
+	// detection (zero when undetected).
+	Latency time.Duration
+	// Responded: the SSM fired at least one playbook response.
+	Responded bool
+	// Recovered: after the operator restored isolated resources, the
+	// device reports a healthy state with its critical service up.
+	// Structurally false on baseline: it has no targeted recovery.
+	Recovered bool
+}
+
+// E12Row aggregates one (scenario, architecture) cell across seeds.
+type E12Row struct {
+	Scenario string
+	Arch     string
+	Seeds    int
+	// Detected, Responded and Recovered count seeds where the outcome
+	// held.
+	Detected, Responded, Recovered int
+	// MeanLatency averages detection latency over detected seeds.
+	MeanLatency time.Duration
+}
+
+// E12Result is the campaign outcome matrix.
+type E12Result struct {
+	Cells []E12Cell
+	Rows  []E12Row
+	Table *report.Table
+	// CRESDetectRate and BaselineDetectRate aggregate over every cell
+	// of the architecture.
+	CRESDetectRate, BaselineDetectRate float64
+	// CRESRecoverRate is the fraction of CRES cells that ended healthy
+	// with the critical service up.
+	CRESRecoverRate float64
+}
+
+// RunE12Campaign runs the scenario campaign matrix. Cells are fanned
+// across the harness pool; the matrix is merged in cell order, so the
+// result is byte-identical at any parallelism.
+func RunE12Campaign(cfg CampaignConfig, opts ...RunOption) (*E12Result, error) {
+	rc := newRunCfg(opts)
+	cfg.fillDefaults()
+
+	archs := []Architecture{ArchCRES, ArchBaseline}
+	perScenario := len(archs) * cfg.Seeds
+	total := len(cfg.Scenarios) * perScenario
+
+	cells, err := harness.Map(rc.pool, total, cfg.RootSeed, func(sh harness.Shard) (E12Cell, error) {
+		sc := cfg.Scenarios[sh.Index/perScenario]
+		rest := sh.Index % perScenario
+		arch := archs[rest/cfg.Seeds]
+		seedIdx := rest % cfg.Seeds
+		cell, err := runCampaignCell(sc, arch, seedIdx, sh.Seed, cfg.Warm, cfg.Window)
+		if err != nil {
+			return E12Cell{}, fmt.Errorf("campaign %s/%s seed %d: %w", sc.Name(), arch, seedIdx, err)
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &E12Result{Cells: cells}
+	var cresCells, cresDetected, cresRecovered, baseCells, baseDetected int
+	for si, sc := range cfg.Scenarios {
+		for ai, arch := range archs {
+			row := E12Row{Scenario: sc.Name(), Arch: arch.String(), Seeds: cfg.Seeds}
+			var latSum time.Duration
+			for s := 0; s < cfg.Seeds; s++ {
+				cell := cells[si*perScenario+ai*cfg.Seeds+s]
+				if cell.Detected {
+					row.Detected++
+					latSum += cell.Latency
+				}
+				if cell.Responded {
+					row.Responded++
+				}
+				if cell.Recovered {
+					row.Recovered++
+				}
+				if arch == ArchCRES {
+					cresCells++
+					if cell.Detected {
+						cresDetected++
+					}
+					if cell.Recovered {
+						cresRecovered++
+					}
+				} else {
+					baseCells++
+					if cell.Detected {
+						baseDetected++
+					}
+				}
+			}
+			if row.Detected > 0 {
+				row.MeanLatency = latSum / time.Duration(row.Detected)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if cresCells > 0 {
+		res.CRESDetectRate = float64(cresDetected) / float64(cresCells)
+		res.CRESRecoverRate = float64(cresRecovered) / float64(cresCells)
+	}
+	if baseCells > 0 {
+		res.BaselineDetectRate = float64(baseDetected) / float64(baseCells)
+	}
+
+	frac := func(n, of int) string { return fmt.Sprintf("%d/%d", n, of) }
+	t := report.NewTable(
+		fmt.Sprintf("E12 — Scenario campaign: %d scenarios × {cres, baseline} × %d seeds (root seed %d)",
+			len(cfg.Scenarios), cfg.Seeds, cfg.RootSeed),
+		"Scenario", "Arch", "Detected", "Mean latency", "Responded", "Recovered")
+	for _, r := range res.Rows {
+		lat, rec := "-", "-"
+		if r.Detected > 0 {
+			lat = r.MeanLatency.String()
+		}
+		if r.Arch == "cres" {
+			rec = frac(r.Recovered, r.Seeds)
+		}
+		t.AddRow(r.Scenario, r.Arch, frac(r.Detected, r.Seeds), lat, frac(r.Responded, r.Seeds), rec)
+	}
+	t.AddRow("TOTAL cres", "", report.Pct(res.CRESDetectRate), "", "", report.Pct(res.CRESRecoverRate))
+	t.AddRow("TOTAL baseline", "", report.Pct(res.BaselineDetectRate), "", "", "-")
+	res.Table = t
+	return res, nil
+}
+
+// runCampaignCell executes one campaign cell: warm, attack, observe,
+// then — on CRES — the operator recovery flow.
+func runCampaignCell(sc attack.Scenario, arch Architecture, seedIdx int, seed int64, warm, window time.Duration) (E12Cell, error) {
+	cell := E12Cell{Scenario: sc.Name(), Arch: arch.String(), SeedIndex: seedIdx, Seed: seed}
+	tb, err := newTestbed(arch, seed)
+	if err != nil {
+		return cell, err
+	}
+	if err := tb.warm(warm); err != nil {
+		return cell, err
+	}
+
+	logBefore := 0
+	if tb.dev.PlainLog != nil {
+		logBefore = tb.dev.PlainLog.Len()
+	}
+	launchAt := tb.dev.Now()
+	if err := sc.Launch(tb.tgt); err != nil {
+		return cell, err
+	}
+	tb.dev.RunFor(window)
+
+	if arch == ArchBaseline {
+		cell.Detected = tb.dev.PlainLog.Len() > logBefore
+		return cell, nil
+	}
+
+	all := true
+	var firstAt sim.VirtualTime
+	for _, sig := range sc.ExpectedSignatures() {
+		d, ok := tb.dev.SSM.FirstDetection(sig)
+		if !ok {
+			all = false
+			break
+		}
+		if firstAt == 0 || d.At < firstAt {
+			firstAt = d.At
+		}
+	}
+	cell.Detected = all
+	if all {
+		cell.Latency = firstAt.Sub(launchAt)
+	}
+	cell.Responded = tb.dev.SSM.ResponsesFired() > 0
+
+	// Operator recovery: restore whatever the playbook isolated, then
+	// declare the application core verified clean. Recovery counts only
+	// if the device ends healthy with its critical service up.
+	for _, resource := range tb.dev.Responder.Isolated() {
+		if err := tb.dev.Recover(resource, "campaign: operator verified and restored"); err != nil {
+			return cell, err
+		}
+	}
+	if err := tb.dev.Recover(tb.dev.SoC.AppCore.Name(), "campaign: post-incident health check"); err != nil {
+		return cell, err
+	}
+	tb.dev.RunFor(5 * time.Millisecond)
+	cell.Recovered = tb.dev.SSM.State() == core.StateHealthy && tb.dev.Degrader.CriticalUp()
+	return cell, nil
+}

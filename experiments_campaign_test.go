@@ -1,0 +1,99 @@
+package cres
+
+import (
+	"strings"
+	"testing"
+
+	"cres/internal/attack"
+	"cres/internal/harness"
+)
+
+func TestE12CampaignOutcomes(t *testing.T) {
+	res, err := RunE12Campaign(CampaignConfig{RootSeed: 7, Seeds: 2}, WithParallel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := attack.Suite()
+	if want := len(suite) * 2 * 2; len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	if res.CRESDetectRate != 1.0 {
+		t.Fatalf("CRES detection rate = %v\n%s", res.CRESDetectRate, res.Table.Render())
+	}
+	if res.BaselineDetectRate != 0.0 {
+		t.Fatalf("baseline detection rate = %v", res.BaselineDetectRate)
+	}
+	if res.CRESRecoverRate != 1.0 {
+		t.Fatalf("CRES recovery rate = %v\n%s", res.CRESRecoverRate, res.Table.Render())
+	}
+	for _, cell := range res.Cells {
+		if cell.Arch == "baseline" && (cell.Responded || cell.Recovered) {
+			t.Errorf("baseline cell %s claims response/recovery", cell.Scenario)
+		}
+		if cell.Arch == "cres" && cell.Detected && cell.Latency < 0 {
+			t.Errorf("cres cell %s has negative latency", cell.Scenario)
+		}
+	}
+}
+
+// TestE12CampaignDeterministicAcrossParallelism is the determinism
+// property the CI gate enforces end-to-end: the campaign matrix must be
+// byte-identical whether cells run serially or across 8 workers.
+func TestE12CampaignDeterministicAcrossParallelism(t *testing.T) {
+	cfg := CampaignConfig{RootSeed: 7, Seeds: 2, Scenarios: attack.Suite()[:4]}
+	serial, err := RunE12Campaign(cfg, WithParallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunE12Campaign(cfg, WithParallel(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Table.Render(), parallel.Table.Render()
+	if a != b {
+		t.Fatalf("campaign output depends on parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for i := range serial.Cells {
+		if serial.Cells[i] != parallel.Cells[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, serial.Cells[i], parallel.Cells[i])
+		}
+	}
+}
+
+func TestE12CampaignDefaultsAndSubset(t *testing.T) {
+	res, err := RunE12Campaign(CampaignConfig{RootSeed: 9, Seeds: 1, Scenarios: []attack.Scenario{attack.SecureProbe{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (one scenario, two architectures)", len(res.Cells))
+	}
+	if !strings.Contains(res.Table.Render(), "secure-probe") {
+		t.Fatal("table lacks the scenario row")
+	}
+	// Derived seeds must follow the documented ShardSeed contract.
+	for i, cell := range res.Cells {
+		if want := harness.ShardSeed(9, i); cell.Seed != want {
+			t.Errorf("cell %d seed = %d, want ShardSeed(9, %d) = %d", i, cell.Seed, i, want)
+		}
+	}
+}
+
+// TestE12CampaignHonorsSeedZero pins that root seed 0 is used as given,
+// not silently replaced by a default: its derived cell seeds must differ
+// from root seed 7's.
+func TestE12CampaignHonorsSeedZero(t *testing.T) {
+	cfg := CampaignConfig{Seeds: 1, Scenarios: []attack.Scenario{attack.SecureProbe{}}}
+	zero, err := RunE12Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range zero.Cells {
+		if want := harness.ShardSeed(0, i); cell.Seed != want {
+			t.Errorf("cell %d seed = %d, want ShardSeed(0, %d) = %d", i, cell.Seed, i, want)
+		}
+		if aliased := harness.ShardSeed(7, i); cell.Seed == aliased {
+			t.Errorf("cell %d: seed 0 campaign aliases the seed-7 stream", i)
+		}
+	}
+}

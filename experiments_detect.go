@@ -7,6 +7,7 @@ import (
 	"cres/internal/attack"
 	"cres/internal/boot"
 	"cres/internal/cryptoutil"
+	"cres/internal/harness"
 	"cres/internal/hw"
 	"cres/internal/m2m"
 	"cres/internal/report"
@@ -15,7 +16,9 @@ import (
 
 // This file implements experiments E3 (detection matrix), E4 (evidence
 // continuity) and E5 (graceful degradation) — the quantitative tests of
-// the paper's Section V claims against the passive baseline.
+// the paper's Section V claims against the passive baseline. Each
+// independent device run is one harness shard with its own engine and
+// derived seed, so the experiments parallelise without changing output.
 
 // testbed builds a device plus the ancillary pieces the attack suite
 // needs (network peer, TEE trustlet and secret), on its own engine.
@@ -112,70 +115,88 @@ type E3Result struct {
 
 // RunE3DetectionMatrix runs every attack scenario against a fresh CRES
 // device and a fresh baseline device and reports who detected what.
-func RunE3DetectionMatrix(seed int64) (*E3Result, error) {
-	res := &E3Result{}
-	detected := 0
-	for _, sc := range attack.Suite() {
-		row := E3Row{Scenario: sc.Name(), ExpectedSig: sc.ExpectedSignatures()[0]}
+// Each (scenario, architecture) cell is an independent shard.
+func RunE3DetectionMatrix(seed int64, opts ...RunOption) (*E3Result, error) {
+	rc := newRunCfg(opts)
+	suite := attack.Suite()
 
-		// CRES run.
-		tb, err := newTestbed(ArchCRES, seed)
-		if err != nil {
-			return nil, fmt.Errorf("e3 %s: %w", sc.Name(), err)
-		}
-		if err := tb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
-		}
-		launchAt := tb.dev.Now()
-		if err := sc.Launch(tb.tgt); err != nil {
-			return nil, fmt.Errorf("e3 launch %s: %w", sc.Name(), err)
-		}
-		tb.dev.RunFor(30 * time.Millisecond)
-		all := true
-		var firstAt sim.VirtualTime
-		for _, sig := range sc.ExpectedSignatures() {
-			d, ok := tb.dev.SSM.FirstDetection(sig)
-			if !ok {
-				all = false
-				break
+	// Even shards are CRES cells, odd shards the matching baseline cell.
+	type e3cell struct {
+		row              E3Row
+		baselineDetected bool
+	}
+	cells, err := harness.Map(rc.pool, len(suite)*2, seed, func(sh harness.Shard) (e3cell, error) {
+		sc := suite[sh.Index/2]
+		if sh.Index%2 == 0 {
+			// CRES run.
+			row := E3Row{Scenario: sc.Name(), ExpectedSig: sc.ExpectedSignatures()[0]}
+			tb, err := newTestbed(ArchCRES, sh.Seed)
+			if err != nil {
+				return e3cell{}, fmt.Errorf("e3 %s: %w", sc.Name(), err)
 			}
-			if firstAt == 0 || d.At < firstAt {
-				firstAt = d.At
+			if err := tb.warm(15 * time.Millisecond); err != nil {
+				return e3cell{}, err
 			}
+			launchAt := tb.dev.Now()
+			if err := sc.Launch(tb.tgt); err != nil {
+				return e3cell{}, fmt.Errorf("e3 launch %s: %w", sc.Name(), err)
+			}
+			tb.dev.RunFor(30 * time.Millisecond)
+			all := true
+			var firstAt sim.VirtualTime
+			for _, sig := range sc.ExpectedSignatures() {
+				d, ok := tb.dev.SSM.FirstDetection(sig)
+				if !ok {
+					all = false
+					break
+				}
+				if firstAt == 0 || d.At < firstAt {
+					firstAt = d.At
+				}
+			}
+			row.CRESDetected = all
+			if all {
+				row.DetectionLatency = firstAt.Sub(launchAt)
+			}
+			row.CRESResponded = tb.dev.SSM.ResponsesFired() > 0
+			return e3cell{row: row}, nil
 		}
-		row.CRESDetected = all
-		if all {
-			detected++
-			row.DetectionLatency = firstAt.Sub(launchAt)
-		}
-		row.CRESResponded = tb.dev.SSM.ResponsesFired() > 0
 
 		// Baseline run: no monitors exist, so detection is structurally
 		// impossible; we still run the attack to confirm it proceeds
 		// unobserved (no log records beyond boot).
-		bb, err := newTestbed(ArchBaseline, seed)
+		bb, err := newTestbed(ArchBaseline, sh.Seed)
 		if err != nil {
-			return nil, err
+			return e3cell{}, err
 		}
 		if err := bb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
+			return e3cell{}, err
 		}
 		before := bb.dev.PlainLog.Len()
 		if err := sc.Launch(bb.tgt); err != nil {
-			return nil, err
+			return e3cell{}, err
 		}
 		bb.dev.RunFor(30 * time.Millisecond)
-		row.BaselineDetected = bb.dev.PlainLog.Len() > before
+		return e3cell{baselineDetected: bb.dev.PlainLog.Len() > before}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	res := &E3Result{}
+	detected, bdet := 0, 0
+	for i := range suite {
+		row := cells[2*i].row
+		row.BaselineDetected = cells[2*i+1].baselineDetected
+		if row.CRESDetected {
+			detected++
+		}
+		if row.BaselineDetected {
+			bdet++
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	res.CRESRate = float64(detected) / float64(len(res.Rows))
-	bdet := 0
-	for _, r := range res.Rows {
-		if r.BaselineDetected {
-			bdet++
-		}
-	}
 	res.BaselineRate = float64(bdet) / float64(len(res.Rows))
 
 	t := report.NewTable("E3 — Detection matrix: attack suite vs CRES and baseline architectures",
@@ -216,62 +237,70 @@ type E4Result struct {
 
 // RunE4EvidenceContinuity attacks both architectures, then has the
 // attacker attempt to destroy the logs, and measures what forensics can
-// still establish.
-func RunE4EvidenceContinuity(seed int64) (*E4Result, error) {
-	res := &E4Result{}
+// still establish. The two architecture runs are independent shards.
+func RunE4EvidenceContinuity(seed int64, opts ...RunOption) (*E4Result, error) {
+	rc := newRunCfg(opts)
+	rows, err := harness.Map(rc.pool, 2, seed, func(sh harness.Shard) (E4Row, error) {
+		if sh.Index == 0 {
+			// CRES: the attacker's wipe attempt targets the isolated
+			// evidence store and fails (it becomes evidence itself);
+			// continuity holds.
+			tb, err := newTestbed(ArchCRES, sh.Seed)
+			if err != nil {
+				return E4Row{}, err
+			}
+			if err := tb.warm(10 * time.Millisecond); err != nil {
+				return E4Row{}, err
+			}
+			attackStart := tb.dev.Now()
+			if err := (attack.FirmwareTamper{}).Launch(tb.tgt); err != nil {
+				return E4Row{}, err
+			}
+			tb.dev.RunFor(10 * time.Millisecond)
+			if err := (attack.LogWipe{}).Launch(tb.tgt); err != nil {
+				return E4Row{}, err
+			}
+			tb.dev.RunFor(10 * time.Millisecond)
+			rep := tb.dev.ForensicReport(attackStart, tb.dev.Now())
+			return E4Row{
+				Architecture:     "cres",
+				RecordsInWindow:  rep.Observations + rep.Alerts + rep.Responses,
+				Continuity:       rep.Continuity,
+				WipedAfterAttack: false, // the isolated store cannot be reached
+				WipeDetected:     true,  // the attempt raised security faults
+			}, nil
+		}
 
-	// CRES: the attacker's wipe attempt targets the isolated evidence
-	// store and fails (it becomes evidence itself); continuity holds.
-	tb, err := newTestbed(ArchCRES, seed)
+		// Baseline: the plain log in normal-world memory is silently
+		// erasable; after the wipe, the window holds nothing and nothing
+		// says so.
+		bb, err := newTestbed(ArchBaseline, sh.Seed)
+		if err != nil {
+			return E4Row{}, err
+		}
+		if err := bb.warm(10 * time.Millisecond); err != nil {
+			return E4Row{}, err
+		}
+		battackStart := bb.dev.Now()
+		if err := (attack.FirmwareTamper{}).Launch(bb.tgt); err != nil {
+			return E4Row{}, err
+		}
+		bb.dev.RunFor(10 * time.Millisecond)
+		bb.dev.PlainLog.Erase(0) // attacker wipes everything, silently
+		bb.dev.RunFor(10 * time.Millisecond)
+		kept := len(bb.dev.PlainLog.Window(battackStart, bb.dev.Now()))
+		return E4Row{
+			Architecture:     "baseline",
+			RecordsInWindow:  kept,
+			Continuity:       0,
+			WipedAfterAttack: true,
+			WipeDetected:     false,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := tb.warm(10 * time.Millisecond); err != nil {
-		return nil, err
-	}
-	attackStart := tb.dev.Now()
-	if err := (attack.FirmwareTamper{}).Launch(tb.tgt); err != nil {
-		return nil, err
-	}
-	tb.dev.RunFor(10 * time.Millisecond)
-	if err := (attack.LogWipe{}).Launch(tb.tgt); err != nil {
-		return nil, err
-	}
-	tb.dev.RunFor(10 * time.Millisecond)
-	rep := tb.dev.ForensicReport(attackStart, tb.dev.Now())
-	res.Rows = append(res.Rows, E4Row{
-		Architecture:     "cres",
-		RecordsInWindow:  rep.Observations + rep.Alerts + rep.Responses,
-		Continuity:       rep.Continuity,
-		WipedAfterAttack: false, // the isolated store cannot be reached
-		WipeDetected:     true,  // the attempt raised security faults
-	})
-
-	// Baseline: the plain log in normal-world memory is silently
-	// erasable; after the wipe, the window holds nothing and nothing
-	// says so.
-	bb, err := newTestbed(ArchBaseline, seed)
-	if err != nil {
-		return nil, err
-	}
-	if err := bb.warm(10 * time.Millisecond); err != nil {
-		return nil, err
-	}
-	battackStart := bb.dev.Now()
-	if err := (attack.FirmwareTamper{}).Launch(bb.tgt); err != nil {
-		return nil, err
-	}
-	bb.dev.RunFor(10 * time.Millisecond)
-	bb.dev.PlainLog.Erase(0) // attacker wipes everything, silently
-	bb.dev.RunFor(10 * time.Millisecond)
-	kept := len(bb.dev.PlainLog.Window(battackStart, bb.dev.Now()))
-	res.Rows = append(res.Rows, E4Row{
-		Architecture:     "baseline",
-		RecordsInWindow:  kept,
-		Continuity:       0,
-		WipedAfterAttack: true,
-		WipeDetected:     false,
-	})
+	res := &E4Result{Rows: rows}
 
 	t := report.NewTable("E4 — Evidence continuity after compromise and log-destruction attempt",
 		"Architecture", "Records in attack window", "Continuity", "Log wiped", "Wipe detected")
@@ -299,26 +328,29 @@ type E5Result struct {
 // samples service availability over the following window. The CRES
 // device isolates the compromised core and keeps the critical service on
 // its fallback; the baseline device reboots (its only response),
-// dropping everything.
-func RunE5GracefulDegradation(seed int64, window time.Duration) (*E5Result, error) {
+// dropping everything. The two architecture runs are independent shards.
+func RunE5GracefulDegradation(seed int64, window time.Duration, opts ...RunOption) (*E5Result, error) {
+	rc := newRunCfg(opts)
 	if window <= 0 {
 		window = 600 * time.Millisecond
 	}
-	res := &E5Result{
-		CriticalAvailability: make(map[string]float64),
-		TotalAvailability:    make(map[string]float64),
-	}
 
-	for _, arch := range []Architecture{ArchCRES, ArchBaseline} {
-		tb, err := newTestbed(arch, seed)
+	archs := []Architecture{ArchCRES, ArchBaseline}
+	type e5out struct {
+		critAvail, totAvail float64
+		series              report.Series
+	}
+	outs, err := harness.Map(rc.pool, len(archs), seed, func(sh harness.Shard) (e5out, error) {
+		arch := archs[sh.Index]
+		tb, err := newTestbed(arch, sh.Seed)
 		if err != nil {
-			return nil, err
+			return e5out{}, err
 		}
 		if err := tb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
+			return e5out{}, err
 		}
 		if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
-			return nil, err
+			return e5out{}, err
 		}
 		// The baseline's stand-in for detection is an operator noticing
 		// misbehaviour after a delay and power-cycling the device.
@@ -333,25 +365,39 @@ func RunE5GracefulDegradation(seed int64, window time.Duration) (*E5Result, erro
 		var totServices int
 		series := report.Series{Name: "services-up-" + arch.String(), XLabel: "ms", YLabel: "services up"}
 		tk, err := sim.NewTicker(tb.dev.Engine, time.Millisecond, func(at sim.VirtualTime) {
-			crit, up, total := tb.dev.Degrader.UpCount()
+			_, up, total := tb.dev.Degrader.UpCount()
 			samples++
 			totServices = total
 			if tb.dev.Degrader.CriticalUp() {
 				critUp++
 			}
-			_ = crit
 			totUp += up
 			series.Add(float64(at.Duration().Milliseconds()), float64(up))
 		})
 		if err != nil {
-			return nil, err
+			return e5out{}, err
 		}
 		tb.dev.RunFor(window)
 		tk.Stop()
 
-		res.CriticalAvailability[arch.String()] = float64(critUp) / float64(samples)
-		res.TotalAvailability[arch.String()] = float64(totUp) / float64(samples*totServices)
-		res.Series = append(res.Series, series)
+		return e5out{
+			critAvail: float64(critUp) / float64(samples),
+			totAvail:  float64(totUp) / float64(samples*totServices),
+			series:    series,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &E5Result{
+		CriticalAvailability: make(map[string]float64),
+		TotalAvailability:    make(map[string]float64),
+	}
+	for i, arch := range archs {
+		res.CriticalAvailability[arch.String()] = outs[i].critAvail
+		res.TotalAvailability[arch.String()] = outs[i].totAvail
+		res.Series = append(res.Series, outs[i].series)
 	}
 
 	t := report.NewTable("E5 — Availability under attack: graceful degradation (CRES) vs reboot (baseline)",

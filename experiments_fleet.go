@@ -6,6 +6,7 @@ import (
 
 	"cres/internal/attest"
 	"cres/internal/cryptoutil"
+	"cres/internal/harness"
 	"cres/internal/m2m"
 	"cres/internal/report"
 	"cres/internal/sim"
@@ -15,17 +16,43 @@ import (
 // This file implements experiment E8: fleet-scale remote attestation —
 // the secure provisioning & attestation requirement of Table I exercised
 // at the verifier.
+//
+// Fleets larger than fleetShardSize are split across verifier shards:
+// each shard is an independent engine + network + verifier appraising a
+// contiguous slice of the fleet, the distributed-verifier tier a real
+// operator deploys at scale. Shards run concurrently under the harness
+// pool; fleet completion is the slowest shard (the shards operate in
+// parallel in the modelled deployment too), and catch counts merge in
+// shard order, so results are independent of the parallelism degree.
+
+// fleetShardSize is the number of devices one verifier shard appraises.
+// The shard split is a function of fleet size only — never of the worker
+// pool — so output is identical at any parallelism.
+const fleetShardSize = 512
+
+// FleetSizes returns the default E8 sweep: quick keeps CI smoke fast,
+// full stretches to the 10k-device fleets the sharded harness makes
+// affordable.
+func FleetSizes(quick bool) []int {
+	if quick {
+		return []int{4, 16, 64}
+	}
+	return []int{4, 16, 64, 256, 1024, 4096, 10240}
+}
 
 // E8Row is one fleet size's outcome.
 type E8Row struct {
 	Devices  int
 	Tampered int
+	// Shards is the number of verifier shards the fleet was split into.
+	Shards int
 	// Caught is how many tampered devices were flagged untrusted.
 	Caught int
 	// FalseAlarms is how many healthy devices were flagged.
 	FalseAlarms int
 	// Completion is the virtual time from first challenge to last
-	// appraisal.
+	// appraisal, taken over the slowest shard (shards verify in
+	// parallel).
 	Completion time.Duration
 	// PerDevice is the mean appraisal completion per device.
 	PerDevice time.Duration
@@ -46,99 +73,61 @@ var (
 	fleetEvil   = cryptoutil.Sum([]byte("implant"))
 )
 
+// fleetShardOut is one verifier shard's contribution to a fleet row.
+type fleetShardOut struct {
+	tampered    int
+	caught      int
+	falseAlarms int
+	completion  time.Duration
+}
+
 // RunE8FleetAttestation sweeps fleet sizes, tampering with 1 in 8
-// devices, and measures verifier completion time and catch rate.
-func RunE8FleetAttestation(sizes []int, seed int64) (*E8Result, error) {
+// devices, and measures verifier completion time and catch rate. Every
+// verifier shard of every size is one harness shard.
+func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Result, error) {
+	rc := newRunCfg(opts)
 	if len(sizes) == 0 {
-		sizes = []int{4, 16, 64, 256}
+		sizes = FleetSizes(false)
 	}
-	res := &E8Result{Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"}}
 
+	// Flatten (size, device-range) pairs into one deterministic job
+	// list so large fleets load-balance across the pool.
+	type fleetJob struct {
+		size, lo, hi int
+	}
+	var jobs []fleetJob
 	for _, n := range sizes {
-		engine := sim.New(seed)
-		net := m2m.NewNetwork(engine, m2m.Config{Latency: 500 * time.Microsecond})
+		for lo := 0; lo < n; lo += fleetShardSize {
+			hi := lo + fleetShardSize
+			if hi > n {
+				hi = n
+			}
+			jobs = append(jobs, fleetJob{size: n, lo: lo, hi: hi})
+		}
+	}
 
-		vkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("verifier"), "v", "", 32))
-		if err != nil {
-			return nil, err
-		}
-		vep, err := net.AddNode("verifier", vkey)
-		if err != nil {
-			return nil, err
-		}
-		policy := &attest.Policy{
-			AIKs: make(map[string]cryptoutil.PublicKey, n),
-			AllowedMeasurements: map[cryptoutil.Digest]bool{
-				fleetROM: true, fleetFW: true, fleetPolicy: true,
-			},
-		}
-		verifier := attest.NewVerifier(engine, vep, policy, nil)
+	outs, err := harness.Map(rc.pool, len(jobs), seed, func(sh harness.Shard) (fleetShardOut, error) {
+		j := jobs[sh.Index]
+		return runFleetShard(j.lo, j.hi, sh.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		tampered := 0
-		for i := 0; i < n; i++ {
-			name := fmt.Sprintf("device-%03d", i)
-			dkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("fleet-dev"), name, "", 32))
-			if err != nil {
-				return nil, err
+	res := &E8Result{Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"}}
+	job := 0
+	for _, n := range sizes {
+		row := E8Row{Devices: n}
+		for lo := 0; lo < n; lo += fleetShardSize {
+			out := outs[job]
+			job++
+			row.Shards++
+			row.Tampered += out.tampered
+			row.Caught += out.caught
+			row.FalseAlarms += out.falseAlarms
+			if out.completion > row.Completion {
+				row.Completion = out.completion
 			}
-			dep, err := net.AddNode(name, dkey)
-			if err != nil {
-				return nil, err
-			}
-			dep.Trust("verifier", vep.PublicKey())
-			vep.Trust(name, dep.PublicKey())
-
-			tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte(name)))
-			if err != nil {
-				return nil, err
-			}
-			tp.Extend(tpm.PCRBootROM, fleetROM, "rom")
-			if i%8 == 3 { // every 8th device boots an implant
-				tp.Extend(tpm.PCRFirmware, fleetEvil, "???")
-				tampered++
-			} else {
-				tp.Extend(tpm.PCRFirmware, fleetFW, "firmware v7")
-			}
-			tp.Extend(tpm.PCRPolicy, fleetPolicy, "policy")
-			attest.NewAttester(tp, dep)
-			policy.AIKs[name] = tp.AIKPublic()
-		}
-
-		start := engine.Now()
-		for i := 0; i < n; i++ {
-			if err := verifier.Challenge(fmt.Sprintf("device-%03d", i)); err != nil {
-				return nil, err
-			}
-		}
-		engine.RunFor(time.Duration(n)*2*time.Millisecond + 100*time.Millisecond)
-		verifier.TimeoutPending()
-
-		var last sim.VirtualTime
-		caught, falseAlarms := 0, 0
-		for _, a := range verifier.Appraisals() {
-			if a.At > last {
-				last = a.At
-			}
-			healthy := !isTamperedName(a.Device)
-			switch a.Verdict {
-			case attest.VerdictUntrusted:
-				if healthy {
-					falseAlarms++
-				} else {
-					caught++
-				}
-			case attest.VerdictTrusted:
-				if !healthy {
-					// missed: counted by caught < tampered
-				}
-			}
-		}
-		row := E8Row{
-			Devices:     n,
-			Tampered:    tampered,
-			Caught:      caught,
-			FalseAlarms: falseAlarms,
-			Completion:  last.Sub(start),
 		}
 		if n > 0 {
 			row.PerDevice = row.Completion / time.Duration(n)
@@ -147,20 +136,110 @@ func RunE8FleetAttestation(sizes []int, seed int64) (*E8Result, error) {
 		res.Series.Add(float64(n), float64(row.Completion.Milliseconds()))
 	}
 
-	t := report.NewTable("E8 — Fleet attestation sweep (1 in 8 devices tampered)",
-		"Devices", "Tampered", "Caught", "False alarms", "Completion (virtual)", "Per device")
+	t := report.NewTable("E8 — Fleet attestation sweep (1 in 8 devices tampered; fleets > 512 split across verifier shards)",
+		"Devices", "Shards", "Tampered", "Caught", "False alarms", "Completion (virtual)", "Per device")
 	for _, r := range res.Rows {
-		t.AddRow(report.I(r.Devices), report.I(r.Tampered), report.I(r.Caught),
+		t.AddRow(report.I(r.Devices), report.I(r.Shards), report.I(r.Tampered), report.I(r.Caught),
 			report.I(r.FalseAlarms), r.Completion.String(), r.PerDevice.String())
 	}
 	res.Table = t
 	return res, nil
 }
 
+// runFleetShard builds one verifier shard appraising the devices with
+// global indices [lo, hi) and returns its counts and completion time.
+func runFleetShard(lo, hi int, seed int64) (fleetShardOut, error) {
+	var out fleetShardOut
+	engine := sim.New(seed)
+	net := m2m.NewNetwork(engine, m2m.Config{Latency: 500 * time.Microsecond})
+
+	vkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("verifier"), "v", "", 32))
+	if err != nil {
+		return out, err
+	}
+	vep, err := net.AddNode("verifier", vkey)
+	if err != nil {
+		return out, err
+	}
+	policy := &attest.Policy{
+		AIKs: make(map[string]cryptoutil.PublicKey, hi-lo),
+		AllowedMeasurements: map[cryptoutil.Digest]bool{
+			fleetROM: true, fleetFW: true, fleetPolicy: true,
+		},
+	}
+	verifier := attest.NewVerifier(engine, vep, policy, nil)
+
+	for i := lo; i < hi; i++ {
+		name := fleetDeviceName(i)
+		dkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("fleet-dev"), name, "", 32))
+		if err != nil {
+			return out, err
+		}
+		dep, err := net.AddNode(name, dkey)
+		if err != nil {
+			return out, err
+		}
+		dep.Trust("verifier", vep.PublicKey())
+		vep.Trust(name, dep.PublicKey())
+
+		tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte(name)))
+		if err != nil {
+			return out, err
+		}
+		tp.Extend(tpm.PCRBootROM, fleetROM, "rom")
+		if isTamperedIndex(i) { // every 8th device boots an implant
+			tp.Extend(tpm.PCRFirmware, fleetEvil, "???")
+			out.tampered++
+		} else {
+			tp.Extend(tpm.PCRFirmware, fleetFW, "firmware v7")
+		}
+		tp.Extend(tpm.PCRPolicy, fleetPolicy, "policy")
+		attest.NewAttester(tp, dep)
+		policy.AIKs[name] = tp.AIKPublic()
+	}
+
+	start := engine.Now()
+	for i := lo; i < hi; i++ {
+		if err := verifier.Challenge(fleetDeviceName(i)); err != nil {
+			return out, err
+		}
+	}
+	engine.RunFor(time.Duration(hi-lo)*2*time.Millisecond + 100*time.Millisecond)
+	verifier.TimeoutPending()
+
+	var last sim.VirtualTime
+	for _, a := range verifier.Appraisals() {
+		if a.At > last {
+			last = a.At
+		}
+		healthy := !isTamperedName(a.Device)
+		if a.Verdict == attest.VerdictUntrusted {
+			if healthy {
+				out.falseAlarms++
+			} else {
+				out.caught++
+			}
+		}
+	}
+	out.completion = last.Sub(start)
+	return out, nil
+}
+
+// fleetDeviceName names a fleet device by its global index.
+func fleetDeviceName(i int) string { return fmt.Sprintf("device-%03d", i) }
+
+// isTamperedIndex picks the tampered devices: every 8th by global index.
+func isTamperedIndex(i int) bool { return i%8 == 3 }
+
+// isTamperedName classifies an appraised device by parsing its global
+// index back out of its name. The format verb must be %d, not the %03d
+// used for printing: Sscanf treats the 3 as a maximum field width and
+// would silently truncate "device-1234" to index 123, misclassifying
+// every device past the first thousand.
 func isTamperedName(name string) bool {
 	var i int
-	if _, err := fmt.Sscanf(name, "device-%03d", &i); err != nil {
+	if _, err := fmt.Sscanf(name, "device-%d", &i); err != nil {
 		return false
 	}
-	return i%8 == 3
+	return isTamperedIndex(i)
 }

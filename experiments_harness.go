@@ -1,0 +1,41 @@
+package cres
+
+import "cres/internal/harness"
+
+// This file is the experiments' bridge to the sharded parallel runner:
+// every RunE* function accepts RunOptions selecting how wide its
+// independent simulation runs fan out. The default is serial and the
+// pre-existing call signatures still compile, but note that moving the
+// experiments onto the harness changed their numbers once: each
+// internal run is now seeded with ShardSeed(seed, shardIndex) instead
+// of the raw seed, so tables recorded before the harness landed do not
+// match post-harness output at the same -seed. What IS invariant is
+// parallelism: results merge in shard order, so a run's output is
+// byte-identical at any worker count.
+
+// RunOption configures an experiment run.
+type RunOption func(*runCfg)
+
+type runCfg struct {
+	pool *harness.Pool
+}
+
+// WithParallel fans the experiment's independent simulation runs across
+// up to workers goroutines (workers <= 0 selects GOMAXPROCS). Output is
+// unchanged by the setting — only wall-clock time.
+func WithParallel(workers int) RunOption {
+	return func(c *runCfg) { c.pool = harness.NewPool(workers) }
+}
+
+// WithRunPool shares an existing worker pool across experiment runs.
+func WithRunPool(p *harness.Pool) RunOption {
+	return func(c *runCfg) { c.pool = p }
+}
+
+func newRunCfg(opts []RunOption) runCfg {
+	c := runCfg{pool: harness.Serial()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package cres
+
+import (
+	"testing"
+)
+
+// These tests pin the harness integration contract: fanning an
+// experiment across workers must not change a byte of its output, and
+// sharded fleets must merge to the same totals as unsharded ones.
+
+func TestE3DeterministicAcrossParallelism(t *testing.T) {
+	serial, err := RunE3DetectionMatrix(7, WithParallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunE3DetectionMatrix(7, WithParallel(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Table.Render(), parallel.Table.Render()
+	if a != b {
+		t.Fatalf("E3 output depends on parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestE10DeterministicAcrossParallelism(t *testing.T) {
+	serial, err := RunE10CovertChannel(7, WithParallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunE10CovertChannel(7, WithParallel(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := serial.Table.Render(), parallel.Table.Render(); a != b {
+		t.Fatalf("E10 output depends on parallelism:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestE8ShardedFleet crosses the fleetShardSize boundary: a 768-device
+// fleet must split into two verifier shards and still catch every
+// tampered device with no false alarms — including devices whose global
+// index needs more than three digits in larger sweeps (the Sscanf %03d
+// truncation this sweep originally shipped with).
+func TestE8ShardedFleet(t *testing.T) {
+	res, err := RunE8FleetAttestation([]int{768}, 7, WithParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Shards != 2 {
+		t.Fatalf("768 devices split into %d shards, want 2", row.Shards)
+	}
+	if row.Tampered != 96 {
+		t.Fatalf("tampered = %d, want 96 (1 in 8)", row.Tampered)
+	}
+	if row.Caught != row.Tampered {
+		t.Fatalf("caught %d of %d tampered\n%s", row.Caught, row.Tampered, res.Table.Render())
+	}
+	if row.FalseAlarms != 0 {
+		t.Fatalf("false alarms = %d", row.FalseAlarms)
+	}
+	if row.Completion <= 0 {
+		t.Fatalf("completion = %v", row.Completion)
+	}
+}
+
+func TestIsTamperedNameHandlesWideIndices(t *testing.T) {
+	cases := map[string]bool{
+		"device-003":   true,
+		"device-004":   false,
+		"device-1027":  true,  // 1027 % 8 == 3; %03d-truncated parse saw 102
+		"device-1234":  false, // %03d-truncated parse saw 123 (tampered)
+		"device-10243": true,
+		"not-a-device": false,
+	}
+	for name, want := range cases {
+		if got := isTamperedName(name); got != want {
+			t.Errorf("isTamperedName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFleetSizes(t *testing.T) {
+	quick := FleetSizes(true)
+	full := FleetSizes(false)
+	if len(quick) >= len(full) {
+		t.Fatal("quick sweep should be smaller than full")
+	}
+	if max := full[len(full)-1]; max < 10_000 {
+		t.Fatalf("full sweep tops out at %d devices, want >= 10k", max)
+	}
+}

@@ -3,6 +3,7 @@ package cres
 import (
 	"errors"
 
+	"cres/internal/harness"
 	"cres/internal/ptrauth"
 	"cres/internal/report"
 	"cres/internal/sim"
@@ -48,36 +49,38 @@ func (s *plainStack) pop() uint64 {
 }
 
 // RunE11PointerAuth runs `trials` call/corrupt/return rounds against a
-// plain return stack and a PAC-protected one.
-func RunE11PointerAuth(seed int64, trials int) (*E11Result, error) {
+// plain return stack and a PAC-protected one. The two configurations
+// run on independent shards with their own derived RNG streams.
+func RunE11PointerAuth(seed int64, trials int, opts ...RunOption) (*E11Result, error) {
+	rc := newRunCfg(opts)
 	if trials <= 0 {
 		trials = 500
 	}
-	rng := sim.New(seed).RNG()
 	const gadget = 0x6666_0000
-	res := &E11Result{}
 
-	// Plain stack: every corruption becomes a silent gadget execution.
-	{
-		row := E11Row{Config: "plain return stack", Corruptions: trials}
-		for i := 0; i < trials; i++ {
-			var st plainStack
-			depth := rng.Intn(6) + 1
-			for d := 0; d < depth; d++ {
-				st.push(0x2000_0000 + uint64(rng.Intn(1<<16)))
-			}
-			st.corrupt(rng.Intn(depth), gadget)
-			for d := 0; d < depth; d++ {
-				if st.pop() == gadget {
-					row.GadgetRuns++
+	rows, err := harness.Map(rc.pool, 2, seed, func(sh harness.Shard) (E11Row, error) {
+		rng := sim.New(sh.Seed).RNG()
+		if sh.Index == 0 {
+			// Plain stack: every corruption becomes a silent gadget
+			// execution.
+			row := E11Row{Config: "plain return stack", Corruptions: trials}
+			for i := 0; i < trials; i++ {
+				var st plainStack
+				depth := rng.Intn(6) + 1
+				for d := 0; d < depth; d++ {
+					st.push(0x2000_0000 + uint64(rng.Intn(1<<16)))
+				}
+				st.corrupt(rng.Intn(depth), gadget)
+				for d := 0; d < depth; d++ {
+					if st.pop() == gadget {
+						row.GadgetRuns++
+					}
 				}
 			}
+			return row, nil
 		}
-		res.Rows = append(res.Rows, row)
-	}
 
-	// PAC-protected stack: corruption trips authentication.
-	{
+		// PAC-protected stack: corruption trips authentication.
 		row := E11Row{Config: "PAC-protected return stack", Corruptions: trials}
 		key := ptrauth.NewKey([]byte("device-root"), "ia")
 		for i := 0; i < trials; i++ {
@@ -85,7 +88,7 @@ func RunE11PointerAuth(seed int64, trials int) (*E11Result, error) {
 			depth := rng.Intn(6) + 1
 			for d := 0; d < depth; d++ {
 				if err := st.Push(0x2000_0000 + uint64(rng.Intn(1<<16))); err != nil {
-					return nil, err
+					return E11Row{}, err
 				}
 			}
 			// The attacker overwrites a stored (signed) entry with the
@@ -97,7 +100,7 @@ func RunE11PointerAuth(seed int64, trials int) (*E11Result, error) {
 				addr, err := st.Pop()
 				if err != nil {
 					if !errors.Is(err, ptrauth.ErrAuthFailed) {
-						return nil, err
+						return E11Row{}, err
 					}
 					caught = true
 					break // the trap halts execution
@@ -110,8 +113,12 @@ func RunE11PointerAuth(seed int64, trials int) (*E11Result, error) {
 				row.Caught++
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &E11Result{Rows: rows}
 
 	t := report.NewTable("E11 — Return-address corruption: plain vs PAC-protected stack",
 		"Configuration", "Corruptions", "Caught", "Gadget executions")

@@ -6,6 +6,7 @@ import (
 
 	"cres/internal/boot"
 	"cres/internal/cryptoutil"
+	"cres/internal/harness"
 	"cres/internal/hw"
 	"cres/internal/monitor"
 	"cres/internal/report"
@@ -32,19 +33,61 @@ type E9Row struct {
 
 // E9Result is the overhead ablation.
 type E9Result struct {
+	// Txs is the number of transactions measured per configuration.
+	Txs   int
 	Rows  []E9Row
 	Table *report.Table
 }
 
+// RenderStable renders the ablation table with host-clock readings
+// masked out, leaving only deterministic cells — the form the CI
+// determinism gate diffs between parallelism degrees. Both renderings
+// come from e9Table, so title and columns cannot drift apart.
+func (r *E9Result) RenderStable() string {
+	return e9Table(r.Rows, true).Render()
+}
+
+// e9Table builds the ablation table. With maskHostClock, the wall-clock
+// and MemStats-derived cells (the only non-deterministic ones) render
+// as "-".
+func e9Table(rows []E9Row, maskHostClock bool) *report.Table {
+	t := report.NewTable("E9 — Monitoring-path cost per bus transaction (ablation)",
+		"Configuration", "ns/tx (host)", "allocs/tx", "Alerts")
+	for _, r := range rows {
+		ns, allocs := report.F(r.WallNsPerTx), report.F(r.AllocsPerTx)
+		if maskHostClock {
+			ns, allocs = "-", "-"
+		}
+		t.AddRow(r.Config, ns, allocs, report.U(r.Alerts))
+	}
+	return t
+}
+
+// e9MeasurementReps is the number of measurement passes per E9
+// configuration; the reported ns/tx is the minimum over the passes.
+// The minimum is the noise-robust statistic for "how fast can this
+// path go": scheduler preemption and cache pollution only ever inflate
+// a pass, so the smallest sample is the closest to the true cost, and
+// the perf-regression gate comparing these numbers across runs stops
+// tripping on one unlucky pass.
+const e9MeasurementReps = 3
+
 // RunE9MonitorOverhead measures bus transaction cost under four
 // configurations: no observers, a counting-only observer, the full bus
 // monitor, and the full monitor plus watchpoints and rate detection.
-// txs is the number of transactions per configuration (default 200k).
+// txs is the number of transactions per measurement pass (default
+// 200k); each configuration reports the fastest of e9MeasurementReps
+// passes.
+//
+// E9 deliberately takes no RunOption: it measures host-CPU ns/tx, and
+// running its configurations concurrently (or alongside other
+// experiments) would contaminate the numbers the perf-regression gate
+// compares. The suite driver runs it serially.
 func RunE9MonitorOverhead(txs int) (*E9Result, error) {
 	if txs <= 0 {
 		txs = 200_000
 	}
-	res := &E9Result{}
+	res := &E9Result{Txs: txs}
 
 	type setup struct {
 		name  string
@@ -103,29 +146,35 @@ func RunE9MonitorOverhead(txs int) (*E9Result, error) {
 		for i := 0; i < 64; i++ {
 			soc.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
 		}
-		runtime.GC()
-		var msBefore, msAfter runtime.MemStats
-		runtime.ReadMemStats(&msBefore)
-		start := time.Now()
-		for i := 0; i < txs; i++ {
-			soc.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
+		var bestNs, bestAllocs float64
+		for rep := 0; rep < e9MeasurementReps; rep++ {
+			runtime.GC()
+			var msBefore, msAfter runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
+			start := time.Now()
+			for i := 0; i < txs; i++ {
+				soc.AppCore.ReadInto(hw.AddrSRAM+hw.Addr((i*64)%65536), buf[:]) //nolint:errcheck
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&msAfter)
+			ns := float64(elapsed.Nanoseconds()) / float64(txs)
+			allocs := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(txs)
+			if rep == 0 || ns < bestNs {
+				bestNs = ns
+			}
+			if rep == 0 || allocs < bestAllocs {
+				bestAllocs = allocs
+			}
 		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&msAfter)
 		res.Rows = append(res.Rows, E9Row{
 			Config:      s.name,
-			WallNsPerTx: float64(elapsed.Nanoseconds()) / float64(txs),
-			AllocsPerTx: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(txs),
+			WallNsPerTx: bestNs,
+			AllocsPerTx: bestAllocs,
 			Alerts:      *alerts,
 		})
 	}
 
-	t := report.NewTable("E9 — Monitoring-path cost per bus transaction (ablation)",
-		"Configuration", "ns/tx (host)", "allocs/tx", "Alerts")
-	for _, r := range res.Rows {
-		t.AddRow(r.Config, report.F(r.WallNsPerTx), report.F(r.AllocsPerTx), report.U(r.Alerts))
-	}
-	res.Table = t
+	res.Table = e9Table(res.Rows, false)
 	return res, nil
 }
 
@@ -160,21 +209,25 @@ type E10Result struct {
 
 // RunE10CovertChannel runs the prime+probe channel at several bit rates,
 // with and without cache partitioning, measuring decode accuracy,
-// bandwidth and detection.
-func RunE10CovertChannel(seed int64) (*E10Result, error) {
+// bandwidth and detection. Each (partitioning, period) cell is an
+// independent shard.
+func RunE10CovertChannel(seed int64, opts ...RunOption) (*E10Result, error) {
+	rc := newRunCfg(opts)
 	res := &E10Result{Series: report.Series{Name: "covert-bandwidth", XLabel: "bit period µs", YLabel: "bits/s"}}
 	periods := []int{20, 50, 100, 200}
 
-	for _, partitioned := range []bool{false, true} {
-		for _, periodUS := range periods {
-			row, err := runCovertChannelOnce(seed, periodUS, partitioned)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, *row)
-			if !partitioned {
-				res.Series.Add(float64(periodUS), row.BandwidthBps)
-			}
+	rows, err := harness.Map(rc.pool, 2*len(periods), seed, func(sh harness.Shard) (*E10Row, error) {
+		partitioned := sh.Index >= len(periods)
+		periodUS := periods[sh.Index%len(periods)]
+		return runCovertChannelOnce(sh.Seed, periodUS, partitioned)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.Rows = append(res.Rows, *row)
+		if !row.Partitioned {
+			res.Series.Add(float64(row.PeriodUS), row.BandwidthBps)
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"cres/internal/attack"
 	"cres/internal/boot"
+	"cres/internal/harness"
 	"cres/internal/report"
 )
 
@@ -41,109 +42,18 @@ type E6Result struct {
 //     boot chain (removes the compromise; outage = activation reboot).
 //   - baseline-reboot: power cycle back into the SAME firmware — fast to
 //     describe, slow in outage, and the vulnerability persists.
-func RunE6Recovery(seed int64) (*E6Result, error) {
-	res := &E6Result{}
-
-	// Strategy 1: CRES isolate + targeted restore.
-	{
-		tb, err := newTestbed(ArchCRES, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := tb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
-		}
-		compromise := tb.dev.Now()
-		if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
-			return nil, err
-		}
-		tb.dev.RunFor(5 * time.Millisecond) // detection + containment
-		// Operator verifies and restores 10ms later.
-		tb.dev.RunFor(10 * time.Millisecond)
-		if err := tb.dev.Recover("app-core", "image verified clean"); err != nil {
-			return nil, err
-		}
-		healthy := tb.dev.Now()
-		res.Rows = append(res.Rows, E6Row{
-			Strategy:          "cres-isolate-restore",
-			TimeToHealthy:     healthy.Sub(compromise),
-			CriticalOutage:    0, // fallback carried the critical service
-			RemovesCompromise: true,
-		})
+//
+// Each strategy runs on its own shard.
+func RunE6Recovery(seed int64, opts ...RunOption) (*E6Result, error) {
+	rc := newRunCfg(opts)
+	strategies := []func(harness.Shard) (E6Row, error){e6IsolateRestore, e6RollForward, e6BaselineReboot}
+	rows, err := harness.Map(rc.pool, len(strategies), seed, func(sh harness.Shard) (E6Row, error) {
+		return strategies[sh.Index](sh)
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// Strategy 2: CRES roll-forward firmware update.
-	{
-		tb, err := newTestbed(ArchCRES, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := tb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
-		}
-		compromise := tb.dev.Now()
-		if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
-			return nil, err
-		}
-		tb.dev.RunFor(5 * time.Millisecond)
-
-		// Stage the fixed release into the inactive slot.
-		fixed := boot.BuildSigned("firmware", 2, []byte("fixed release"), tb.dev.Vendor)
-		rep := tb.dev.BootReport()
-		if err := tb.dev.Updater.Stage(fixed, rep.BootedSlot); err != nil {
-			return nil, err
-		}
-		// Activation: model the reboot outage explicitly.
-		const rebootOutage = 200 * time.Millisecond
-		tb.dev.Degrader.StopAll()
-		tb.dev.RunFor(rebootOutage)
-		if _, err := tb.dev.Updater.Activate(); err != nil {
-			return nil, err
-		}
-		tb.dev.Degrader.StartAll()
-		if err := tb.dev.Recover("app-core", "roll-forward to v2"); err != nil {
-			return nil, err
-		}
-		healthy := tb.dev.Now()
-		res.Rows = append(res.Rows, E6Row{
-			Strategy:          "cres-rollforward",
-			TimeToHealthy:     healthy.Sub(compromise),
-			CriticalOutage:    rebootOutage,
-			RemovesCompromise: true,
-		})
-	}
-
-	// Strategy 3: baseline reboot into the same firmware.
-	{
-		tb, err := newTestbed(ArchBaseline, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := tb.warm(15 * time.Millisecond); err != nil {
-			return nil, err
-		}
-		compromise := tb.dev.Now()
-		if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
-			return nil, err
-		}
-		// Operator notices after 20ms and power-cycles (500ms outage).
-		tb.dev.RunFor(20 * time.Millisecond)
-		rebootDone := false
-		if err := tb.dev.Baseline.Reboot("operator power cycle", func() { rebootDone = true }); err != nil {
-			return nil, err
-		}
-		tb.dev.RunFor(600 * time.Millisecond)
-		if !rebootDone {
-			return nil, errors.New("e6: baseline reboot never completed")
-		}
-		healthy := tb.dev.Now()
-		res.Rows = append(res.Rows, E6Row{
-			Strategy:          "baseline-reboot",
-			TimeToHealthy:     healthy.Sub(compromise),
-			CriticalOutage:    500 * time.Millisecond,
-			RemovesCompromise: false, // same vulnerable firmware boots again
-		})
-	}
+	res := &E6Result{Rows: rows}
 
 	t := report.NewTable("E6 — Recovery strategies after compromise",
 		"Strategy", "Time to healthy", "Critical-service outage", "Removes compromise")
@@ -152,6 +62,105 @@ func RunE6Recovery(seed int64) (*E6Result, error) {
 	}
 	res.Table = t
 	return res, nil
+}
+
+// e6IsolateRestore is strategy 1: CRES isolate + targeted restore.
+func e6IsolateRestore(sh harness.Shard) (E6Row, error) {
+	tb, err := newTestbed(ArchCRES, sh.Seed)
+	if err != nil {
+		return E6Row{}, err
+	}
+	if err := tb.warm(15 * time.Millisecond); err != nil {
+		return E6Row{}, err
+	}
+	compromise := tb.dev.Now()
+	if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
+		return E6Row{}, err
+	}
+	tb.dev.RunFor(5 * time.Millisecond) // detection + containment
+	// Operator verifies and restores 10ms later.
+	tb.dev.RunFor(10 * time.Millisecond)
+	if err := tb.dev.Recover("app-core", "image verified clean"); err != nil {
+		return E6Row{}, err
+	}
+	return E6Row{
+		Strategy:          "cres-isolate-restore",
+		TimeToHealthy:     tb.dev.Now().Sub(compromise),
+		CriticalOutage:    0, // fallback carried the critical service
+		RemovesCompromise: true,
+	}, nil
+}
+
+// e6RollForward is strategy 2: CRES roll-forward firmware update.
+func e6RollForward(sh harness.Shard) (E6Row, error) {
+	tb, err := newTestbed(ArchCRES, sh.Seed)
+	if err != nil {
+		return E6Row{}, err
+	}
+	if err := tb.warm(15 * time.Millisecond); err != nil {
+		return E6Row{}, err
+	}
+	compromise := tb.dev.Now()
+	if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
+		return E6Row{}, err
+	}
+	tb.dev.RunFor(5 * time.Millisecond)
+
+	// Stage the fixed release into the inactive slot.
+	fixed := boot.BuildSigned("firmware", 2, []byte("fixed release"), tb.dev.Vendor)
+	rep := tb.dev.BootReport()
+	if err := tb.dev.Updater.Stage(fixed, rep.BootedSlot); err != nil {
+		return E6Row{}, err
+	}
+	// Activation: model the reboot outage explicitly.
+	const rebootOutage = 200 * time.Millisecond
+	tb.dev.Degrader.StopAll()
+	tb.dev.RunFor(rebootOutage)
+	if _, err := tb.dev.Updater.Activate(); err != nil {
+		return E6Row{}, err
+	}
+	tb.dev.Degrader.StartAll()
+	if err := tb.dev.Recover("app-core", "roll-forward to v2"); err != nil {
+		return E6Row{}, err
+	}
+	return E6Row{
+		Strategy:          "cres-rollforward",
+		TimeToHealthy:     tb.dev.Now().Sub(compromise),
+		CriticalOutage:    rebootOutage,
+		RemovesCompromise: true,
+	}, nil
+}
+
+// e6BaselineReboot is strategy 3: baseline reboot into the same
+// firmware.
+func e6BaselineReboot(sh harness.Shard) (E6Row, error) {
+	tb, err := newTestbed(ArchBaseline, sh.Seed)
+	if err != nil {
+		return E6Row{}, err
+	}
+	if err := tb.warm(15 * time.Millisecond); err != nil {
+		return E6Row{}, err
+	}
+	compromise := tb.dev.Now()
+	if err := (attack.CodeInjection{}).Launch(tb.tgt); err != nil {
+		return E6Row{}, err
+	}
+	// Operator notices after 20ms and power-cycles (500ms outage).
+	tb.dev.RunFor(20 * time.Millisecond)
+	rebootDone := false
+	if err := tb.dev.Baseline.Reboot("operator power cycle", func() { rebootDone = true }); err != nil {
+		return E6Row{}, err
+	}
+	tb.dev.RunFor(600 * time.Millisecond)
+	if !rebootDone {
+		return E6Row{}, errors.New("e6: baseline reboot never completed")
+	}
+	return E6Row{
+		Strategy:          "baseline-reboot",
+		TimeToHealthy:     tb.dev.Now().Sub(compromise),
+		CriticalOutage:    500 * time.Millisecond,
+		RemovesCompromise: false, // same vulnerable firmware boots again
+	}, nil
 }
 
 // E7Row is one boot-chain configuration's outcome under downgrade.
@@ -171,8 +180,9 @@ type E7Result struct {
 // RunE7Rollback replays the Section IV downgrade attack against four
 // boot-chain configurations: hardened, no anti-rollback, no signature
 // check, and both weaknesses (the historically attacked configuration).
-func RunE7Rollback(seed int64) (*E7Result, error) {
-	res := &E7Result{}
+// Each configuration runs on its own shard.
+func RunE7Rollback(seed int64, opts ...RunOption) (*E7Result, error) {
+	rc := newRunCfg(opts)
 	configs := []struct {
 		name string
 		opts boot.Options
@@ -183,22 +193,23 @@ func RunE7Rollback(seed int64) (*E7Result, error) {
 		{"weak: neither", boot.Options{WeakNoRollbackProtection: true, WeakSkipSignature: true}},
 	}
 
-	for _, cfg := range configs {
-		dev, err := NewDevice("dut", WithSeed(seed), WithBootOptions(cfg.opts), WithFirmware(5, []byte("current v5")))
+	rows, err := harness.Map(rc.pool, len(configs), seed, func(sh harness.Shard) (E7Row, error) {
+		cfg := configs[sh.Index]
+		dev, err := NewDevice("dut", WithSeed(sh.Seed), WithBootOptions(cfg.opts), WithFirmware(5, []byte("current v5")))
 		if err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		if _, err := dev.Boot(); err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		// Attacker installs a genuine-but-old v2 image in both slots
 		// (out of band: flash reprogramming).
 		old := boot.BuildSigned("firmware", 2, []byte("vulnerable v2"), dev.Vendor)
 		if err := boot.InstallImage(dev.SoC.Mem, boot.SlotA, old); err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		if err := boot.InstallImage(dev.SoC.Mem, boot.SlotB, old); err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		dev.TPM.Reboot()
 		rep, err := dev.Chain.Boot(dev.SoC.Mem, dev.TPM)
@@ -210,8 +221,12 @@ func RunE7Rollback(seed int64) (*E7Result, error) {
 			row.BootedVersion = rep.Image.Version
 			row.AttackSucceed = rep.Image.Version < 5
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &E7Result{Rows: rows}
 
 	t := report.NewTable("E7 — Downgrade attack vs boot-chain configuration",
 		"Configuration", "Booted version", "Downgrade succeeded", "Boot refused")

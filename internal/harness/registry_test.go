@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func testRunner(*Context) (*Outcome, error) { return &Outcome{}, nil }
+
+func TestRegisterAndLookupPreservesOrder(t *testing.T) {
+	Register("test-reg-A", testRunner)
+	Register("test-reg-B", testRunner)
+
+	exps := Experiments()
+	posA, posB := -1, -1
+	for i, e := range exps {
+		switch e.Name {
+		case "test-reg-A":
+			posA = i
+		case "test-reg-B":
+			posB = i
+		}
+	}
+	if posA < 0 || posB < 0 {
+		t.Fatalf("registered experiments missing from %v", exps)
+	}
+	if posA >= posB {
+		t.Fatalf("registration order not preserved: A at %d, B at %d", posA, posB)
+	}
+
+	if _, ok := Lookup("test-reg-A"); !ok {
+		t.Fatal("Lookup missed a registered experiment")
+	}
+	if _, ok := Lookup("test-reg-missing"); ok {
+		t.Fatal("Lookup invented an experiment")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("%s: expected panic", name)
+			} else if msg, ok := r.(string); ok && !strings.Contains(msg, "harness") {
+				t.Fatalf("%s: panic %q lacks package context", name, msg)
+			}
+		}()
+		fn()
+	}
+	Register("test-reg-dup", testRunner)
+	mustPanic("duplicate", func() { Register("test-reg-dup", testRunner) })
+	mustPanic("empty name", func() { Register("", testRunner) })
+	mustPanic("nil runner", func() { Register("test-reg-nil", nil) })
+}
