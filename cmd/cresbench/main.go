@@ -15,13 +15,15 @@
 // committed baseline to gate perf regressions.
 //
 // -campaign switches to the E12 scenario campaign: every attack
-// scenario × {cres, baseline} × -shards seeds, printed as one outcome
-// matrix.
+// scenario and staged attack plan × {cres, baseline} × -shards seeds,
+// printed as one outcome matrix. -plan selects which staged plans join
+// the matrix: built-in plan names, "scenario@delay,..." custom syntax,
+// or "none" (default: every built-in plan).
 //
 // Usage:
 //
 //	cresbench [-seed 7] [-quick] [-parallel N] [-only E3,E9] [-stable] [-json BENCH_perf.json]
-//	cresbench -campaign [-shards 3] [-seed 7] [-parallel N] [-json campaign.json]
+//	cresbench -campaign [-shards 3] [-seed 7] [-parallel N] [-plan implant-persist] [-json campaign.json]
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 
 	"cres"
 	"cres/internal/harness"
+	"cres/internal/scenario"
 )
 
 // options collects the CLI flags.
@@ -43,6 +46,7 @@ type options struct {
 	parallel int
 	campaign bool
 	shards   int
+	plan     string
 	only     string
 	stable   bool
 }
@@ -54,7 +58,8 @@ func main() {
 	flag.StringVar(&o.jsonPath, "json", "BENCH_perf.json", "write the machine-readable report here (empty to disable)")
 	flag.IntVar(&o.parallel, "parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.campaign, "campaign", false, "run the E12 scenario campaign instead of the experiment suite")
-	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per scenario × architecture cell")
+	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
+	flag.StringVar(&o.plan, "plan", "", `campaign staged plans: built-in names, "scenario@delay,..." syntax, or "none" (default: all built-ins)`)
 	flag.StringVar(&o.only, "only", "", "comma-separated experiment filter, e.g. E3,E9 (suite mode)")
 	flag.BoolVar(&o.stable, "stable", false, "mask host-clock readings so output is byte-identical across runs")
 	flag.Parse()
@@ -97,6 +102,7 @@ type campaignReport struct {
 	Schema             string  `json:"schema"`
 	Seed               int64   `json:"seed"`
 	SeedsPerCell       int     `json:"seeds_per_cell"`
+	Plans              int     `json:"plans"`
 	Cells              int     `json:"cells"`
 	CRESDetectRate     float64 `json:"cres_detect_rate"`
 	CRESRecoverRate    float64 `json:"cres_recover_rate"`
@@ -174,11 +180,16 @@ func runSuite(o options, pool *harness.Pool) error {
 
 // runCampaign runs the E12 scenario campaign matrix.
 func runCampaign(o options, pool *harness.Pool) error {
-	fmt.Println("CRES scenario campaign — attack suite × {cres, baseline} × seeds")
+	fmt.Println("CRES scenario campaign — attack suite + staged plans × {cres, baseline} × seeds")
 	fmt.Println()
+	plans, err := scenario.ParsePlans(o.plan)
+	if err != nil {
+		return err
+	}
 	res, err := cres.RunE12Campaign(cres.CampaignConfig{
 		RootSeed: o.seed,
 		Seeds:    o.shards,
+		Plans:    plans,
 	}, cres.WithRunPool(pool))
 	if err != nil {
 		return err
@@ -190,6 +201,7 @@ func runCampaign(o options, pool *harness.Pool) error {
 			Schema:             "cres-campaign/v1",
 			Seed:               o.seed,
 			SeedsPerCell:       o.shards,
+			Plans:              len(plans),
 			Cells:              len(res.Cells),
 			CRESDetectRate:     res.CRESDetectRate,
 			CRESRecoverRate:    res.CRESRecoverRate,

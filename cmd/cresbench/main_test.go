@@ -91,10 +91,38 @@ func TestRunCampaign(t *testing.T) {
 	if rep.Schema != "cres-campaign/v1" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if rep.Cells != 22 {
-		t.Fatalf("cells = %d, want 22 (11 scenarios × 2 architectures × 1 seed)", rep.Cells)
+	if rep.Plans != 3 {
+		t.Fatalf("plans = %d, want the 3 built-ins", rep.Plans)
+	}
+	if rep.Cells != 28 {
+		t.Fatalf("cells = %d, want 28 ((11 scenarios + 3 plans) × 2 architectures × 1 seed)", rep.Cells)
 	}
 	if rep.CRESDetectRate != 1.0 || rep.BaselineDetectRate != 0.0 {
 		t.Fatalf("rates: cres=%v baseline=%v", rep.CRESDetectRate, rep.BaselineDetectRate)
+	}
+}
+
+func TestRunCampaignCustomPlan(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "campaign.json")
+	if err := run(options{seed: 7, campaign: true, shards: 1, parallel: 4,
+		plan: "secure-probe@0,code-injection@5ms", jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep campaignReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plans != 1 || rep.Cells != 24 {
+		t.Fatalf("plans = %d cells = %d, want 1 plan / 24 cells", rep.Plans, rep.Cells)
+	}
+}
+
+func TestRunCampaignRejectsBadPlan(t *testing.T) {
+	if err := run(options{seed: 7, campaign: true, shards: 1, plan: "moonshot"}); err == nil {
+		t.Fatal("unknown plan accepted")
 	}
 }

@@ -1,34 +1,42 @@
-// Command cresim runs an attack scenario against a simulated device and
-// prints the outcome: what the monitors saw, what the security manager
-// did, how the services fared, and the forensic reconstruction.
+// Command cresim runs attack scenarios and staged attack plans against
+// a simulated device and prints the outcome: what the monitors saw,
+// what the security manager did, how the services fared, and the
+// forensic reconstruction.
 //
 // The -campaign mode runs the full scenario campaign instead: every
-// attack scenario × {cres, baseline} × -shards derived seeds, fanned
-// across -parallel workers, printed as one outcome matrix.
+// attack scenario and staged plan × {cres, baseline} × -shards derived
+// seeds, fanned across -parallel workers, printed as one outcome
+// matrix.
 //
 // Usage:
 //
 //	cresim -list
-//	cresim -scenario code-injection [-arch cres|baseline] [-seed 7]
+//	cresim -scenario code-injection [-arch cres|baseline|both] [-seed 7]
+//	cresim -scenario secure-probe,bus-flood -arch both
+//	cresim -plan network-takeover
+//	cresim -plan "secure-probe@0,log-wipe@10ms*3"
 //	cresim -all
-//	cresim -campaign [-shards 3] [-parallel N] [-seed 7]
+//	cresim -campaign [-plan implant-persist] [-shards 3] [-parallel N] [-seed 7]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cres"
 	"cres/internal/attack"
 	"cres/internal/harness"
+	"cres/internal/scenario"
 )
 
 // options collects the CLI flags.
 type options struct {
 	list     bool
 	scenario string
+	plan     string
 	all      bool
 	arch     string
 	seed     int64
@@ -39,13 +47,14 @@ type options struct {
 
 func main() {
 	var o options
-	flag.BoolVar(&o.list, "list", false, "list available attack scenarios")
-	flag.StringVar(&o.scenario, "scenario", "", "scenario to run (see -list)")
+	flag.BoolVar(&o.list, "list", false, "list available attack scenarios and built-in plans")
+	flag.StringVar(&o.scenario, "scenario", "", "comma-separated scenarios to run (see -list)")
+	flag.StringVar(&o.plan, "plan", "", `staged plans: built-in names ("implant-persist"), "scenario@delay,..." syntax, or "none" (campaign mode)`)
 	flag.BoolVar(&o.all, "all", false, "run every scenario")
-	flag.StringVar(&o.arch, "arch", "cres", "architecture: cres or baseline")
+	flag.StringVar(&o.arch, "arch", "cres", "architecture: cres, baseline or both")
 	flag.Int64Var(&o.seed, "seed", 7, "simulation seed (campaign: root seed)")
 	flag.BoolVar(&o.campaign, "campaign", false, "run the scenario campaign matrix")
-	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per scenario × architecture cell")
+	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
 	flag.IntVar(&o.parallel, "parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -57,16 +66,25 @@ func main() {
 
 func run(o options) error {
 	if o.list {
-		for _, sc := range attack.Suite() {
+		for _, sc := range attack.All() {
 			fmt.Printf("%-22s %s\n", sc.Name(), sc.Description())
+		}
+		fmt.Println()
+		for _, p := range scenario.BuiltinPlans() {
+			fmt.Printf("%-22s [plan] %s\n", p.Name, p.Description)
 		}
 		return nil
 	}
 
 	if o.campaign {
+		plans, err := scenario.ParsePlans(o.plan)
+		if err != nil {
+			return err
+		}
 		res, err := cres.RunE12Campaign(cres.CampaignConfig{
 			RootSeed: o.seed,
 			Seeds:    o.shards,
+			Plans:    plans,
 		}, cres.WithRunPool(harness.NewPool(o.parallel)))
 		if err != nil {
 			return err
@@ -75,32 +93,67 @@ func run(o options) error {
 		return nil
 	}
 
-	var arch cres.Architecture
-	switch o.arch {
-	case "cres":
-		arch = cres.ArchCRES
-	case "baseline":
-		arch = cres.ArchBaseline
-	default:
-		return fmt.Errorf("unknown architecture %q", o.arch)
-	}
-
-	var scenarios []attack.Scenario
-	for _, sc := range attack.Suite() {
-		if o.all || sc.Name() == o.scenario {
-			scenarios = append(scenarios, sc)
+	var archs []cres.Architecture
+	if o.arch == "both" {
+		archs = []cres.Architecture{cres.ArchCRES, cres.ArchBaseline}
+	} else {
+		arch, err := cres.ParseArchitecture(o.arch)
+		if err != nil {
+			return fmt.Errorf("unknown architecture %q (want cres, baseline or both)", o.arch)
 		}
-	}
-	if len(scenarios) == 0 {
-		return fmt.Errorf("no scenario %q (use -list)", o.scenario)
+		archs = []cres.Architecture{arch}
 	}
 
-	for _, sc := range scenarios {
-		if err := runOne(sc, arch, o.seed); err != nil {
-			return fmt.Errorf("%s: %w", sc.Name(), err)
+	attacks, err := selectAttacks(o)
+	if err != nil {
+		return err
+	}
+	for _, sc := range attacks {
+		for _, arch := range archs {
+			if err := runOne(sc, arch, o.seed); err != nil {
+				return fmt.Errorf("%s: %w", sc.Name(), err)
+			}
 		}
 	}
 	return nil
+}
+
+// selectAttacks resolves the -all/-scenario/-plan flags into launchable
+// attacks, scenarios first.
+func selectAttacks(o options) ([]attack.Scenario, error) {
+	var attacks []attack.Scenario
+	if o.all {
+		attacks = attack.All()
+	} else {
+		for _, name := range strings.Split(o.scenario, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			sc, ok := attack.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("no scenario %q (use -list)", name)
+			}
+			attacks = append(attacks, sc)
+		}
+	}
+	if o.plan != "" {
+		plans, err := scenario.ParsePlans(o.plan)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range plans {
+			cp, err := p.Compile()
+			if err != nil {
+				return nil, err
+			}
+			attacks = append(attacks, cp.Scenario())
+		}
+	}
+	if len(attacks) == 0 {
+		return nil, fmt.Errorf("nothing to run: give -scenario, -plan or -all (use -list)")
+	}
+	return attacks, nil
 }
 
 func runOne(sc attack.Scenario, arch cres.Architecture, seed int64) error {
@@ -119,7 +172,12 @@ func runOne(sc attack.Scenario, arch cres.Architecture, seed int64) error {
 	if err := sc.Launch(tb.AttackTarget()); err != nil {
 		return err
 	}
-	dev.RunFor(30 * time.Millisecond)
+	window := 30 * time.Millisecond
+	if staged, ok := sc.(attack.Staged); ok {
+		// A plan's later stages must run inside the observation window.
+		window += staged.Horizon()
+	}
+	dev.RunFor(window)
 
 	if dev.SSM != nil {
 		fmt.Printf("health state: %s\n", dev.SSM.State())

@@ -20,9 +20,33 @@ func TestRunSingleScenarioBaseline(t *testing.T) {
 	}
 }
 
+func TestRunScenarioListBothArchitectures(t *testing.T) {
+	if err := run(options{scenario: "secure-probe, code-injection", arch: "both", seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBuiltinPlan(t *testing.T) {
+	if err := run(options{plan: "network-takeover", arch: "cres", seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomPlanSyntax(t *testing.T) {
+	if err := run(options{plan: "secure-probe@0,log-wipe@5ms*2", arch: "cres", seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownScenario(t *testing.T) {
 	if err := run(options{scenario: "nope", arch: "cres", seed: 7}); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestUnknownPlan(t *testing.T) {
+	if err := run(options{plan: "nope", arch: "cres", seed: 7}); err == nil {
+		t.Fatal("unknown plan accepted")
 	}
 }
 
@@ -32,8 +56,14 @@ func TestUnknownArchitecture(t *testing.T) {
 	}
 }
 
+func TestNothingSelected(t *testing.T) {
+	if err := run(options{arch: "cres", seed: 7}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
 func TestCampaignMode(t *testing.T) {
-	if err := run(options{campaign: true, seed: 7, shards: 1, parallel: 2}); err != nil {
+	if err := run(options{campaign: true, seed: 7, shards: 1, parallel: 2, plan: "implant-persist"}); err != nil {
 		t.Fatal(err)
 	}
 }

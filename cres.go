@@ -40,6 +40,7 @@ import (
 	"cres/internal/policy"
 	"cres/internal/recovery"
 	"cres/internal/response"
+	"cres/internal/scenario"
 	"cres/internal/sim"
 	"cres/internal/tee"
 	"cres/internal/tpm"
@@ -67,6 +68,19 @@ func (a Architecture) String() string {
 		return "baseline"
 	default:
 		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// ParseArchitecture maps an architecture name ("cres" or "baseline")
+// to its Architecture — the inverse of String.
+func ParseArchitecture(s string) (Architecture, error) {
+	switch s {
+	case scenario.ArchCRES:
+		return ArchCRES, nil
+	case scenario.ArchBaseline:
+		return ArchBaseline, nil
+	default:
+		return 0, fmt.Errorf("cres: unknown architecture %q", s)
 	}
 }
 
@@ -100,23 +114,15 @@ func (m DetectionMode) String() string {
 	}
 }
 
-// config collects device construction options.
+// config pairs the declarative device shape with the runtime wiring a
+// spec cannot carry: a shared engine, an attached network, a fleet
+// vendor key. Options mutate one or the other; assembly is driven by
+// the compiled spec.
 type config struct {
-	detectMode    DetectionMode
-	seed          int64
-	engine        *sim.Engine
-	arch          Architecture
-	network       *m2m.Network
-	services      []response.Service
-	cfg           monitor.CFG
-	fwVersion     uint64
-	fwPayload     []byte
-	vendor        *cryptoutil.KeyPair
-	bootOpts      boot.Options
-	teeCfg        tee.Config
-	monitorWindow time.Duration
-	obsPeriod     time.Duration
-	rebootTime    time.Duration
+	spec    scenario.DeviceSpec
+	engine  *sim.Engine
+	network *m2m.Network
+	vendor  *cryptoutil.KeyPair
 }
 
 // Option configures NewDevice.
@@ -124,28 +130,28 @@ type Option func(*config)
 
 // WithSeed sets the simulation seed (default 1). Ignored when an engine
 // is shared via WithEngine.
-func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed int64) Option { return func(c *config) { c.spec.Seed = seed } }
 
 // WithEngine shares an existing simulation engine (required to co-
 // simulate several devices or a device plus a fleet verifier).
 func WithEngine(e *sim.Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithArchitecture selects CRES (default) or Baseline.
-func WithArchitecture(a Architecture) Option { return func(c *config) { c.arch = a } }
+func WithArchitecture(a Architecture) Option { return func(c *config) { c.spec.Arch = a.String() } }
 
 // WithNetwork attaches the device to an M2M network; its endpoint name
 // is the device name.
 func WithNetwork(n *m2m.Network) Option { return func(c *config) { c.network = n } }
 
 // WithServices declares the device's services for graceful degradation.
-func WithServices(s []response.Service) Option { return func(c *config) { c.services = s } }
+func WithServices(s []response.Service) Option { return func(c *config) { c.spec.Services = s } }
 
 // WithCFG sets the application's control-flow graph for the CFI monitor.
-func WithCFG(g monitor.CFG) Option { return func(c *config) { c.cfg = g } }
+func WithCFG(g monitor.CFG) Option { return func(c *config) { c.spec.CFG = g } }
 
 // WithFirmware sets the initial firmware release installed in slot A.
 func WithFirmware(version uint64, payload []byte) Option {
-	return func(c *config) { c.fwVersion, c.fwPayload = version, payload }
+	return func(c *config) { c.spec.FirmwareVersion, c.spec.FirmwarePayload = version, payload }
 }
 
 // WithVendor supplies the firmware-signing vendor key (shared across a
@@ -154,51 +160,41 @@ func WithVendor(k *cryptoutil.KeyPair) Option { return func(c *config) { c.vendo
 
 // WithBootOptions configures the boot chain (e.g. the deliberately
 // weakened variants for the attack experiments).
-func WithBootOptions(o boot.Options) Option { return func(c *config) { c.bootOpts = o } }
+func WithBootOptions(o boot.Options) Option { return func(c *config) { c.spec.Boot = o } }
 
 // WithTEEConfig configures the TEE (e.g. weak trustlet rollback).
-func WithTEEConfig(t tee.Config) Option { return func(c *config) { c.teeCfg = t } }
+func WithTEEConfig(t tee.Config) Option { return func(c *config) { c.spec.TEE = t } }
 
 // WithMonitorWindow sets the monitors' sampling window (default 1ms).
-func WithMonitorWindow(d time.Duration) Option { return func(c *config) { c.monitorWindow = d } }
+func WithMonitorWindow(d time.Duration) Option { return func(c *config) { c.spec.MonitorWindow = d } }
 
 // WithObservationPeriod sets the SSM evidence-sampling period (default
 // 1ms).
-func WithObservationPeriod(d time.Duration) Option { return func(c *config) { c.obsPeriod = d } }
+func WithObservationPeriod(d time.Duration) Option {
+	return func(c *config) { c.spec.ObservationPeriod = d }
+}
 
 // WithRebootTime sets the baseline's reboot outage duration.
-func WithRebootTime(d time.Duration) Option { return func(c *config) { c.rebootTime = d } }
+func WithRebootTime(d time.Duration) Option { return func(c *config) { c.spec.RebootTime = d } }
 
 // WithDetectionMode selects the monitors' detection method family
 // (default: combined signature + anomaly).
-func WithDetectionMode(m DetectionMode) Option { return func(c *config) { c.detectMode = m } }
+func WithDetectionMode(m DetectionMode) Option {
+	return func(c *config) { c.spec.Detection = m.String() }
+}
+
+// WithMonitors restricts a CRES device to the named monitors (see
+// scenario.MonitorNames). Default: all of them.
+func WithMonitors(names ...string) Option { return func(c *config) { c.spec.Monitors = names } }
 
 // DefaultServices returns the reference service set of a critical-
-// infrastructure field device: one critical protection function with a
-// redundant controller, and non-critical telemetry/management functions.
-func DefaultServices() []response.Service {
-	return []response.Service{
-		{Name: "protection-relay", Critical: true, Resources: []string{"app-core"}, Fallbacks: []string{"backup-controller"}},
-		{Name: "telemetry", Resources: []string{"app-core", "m2m-link"}},
-		{Name: "remote-management", Resources: []string{"m2m-link"}},
-		{Name: "local-hmi", Resources: []string{"app-core"}},
-	}
-}
+// infrastructure field device. It forwards to the scenario layer, which
+// owns the reference device shape.
+func DefaultServices() []response.Service { return scenario.DefaultServices() }
 
 // DefaultCFG returns the reference application control-flow graph used
-// by the examples and experiments: a sense -> decide -> act loop with an
-// idle path.
-func DefaultCFG() monitor.CFG {
-	return monitor.CFG{
-		0: {1},    // entry
-		1: {2},    // sense
-		2: {3, 5}, // decide -> act or idle
-		3: {4},    // act
-		4: {1},    // loop
-		5: {1, 6}, // idle -> loop or shutdown
-		6: nil,    // shutdown
-	}
-}
+// by the examples and experiments.
+func DefaultCFG() monitor.CFG { return scenario.DefaultCFG() }
 
 // Device is an assembled platform.
 type Device struct {
@@ -234,34 +230,49 @@ type Device struct {
 
 	Actuators map[string]*hw.Actuator
 
-	cfg        config
+	spec       *scenario.CompiledDevice
 	bootReport *boot.Report
 }
 
-// NewDevice assembles a device.
+// NewDevice assembles a device from functional options over the
+// reference shape: CRES architecture, combined detection, every
+// monitor, seed 1.
 func NewDevice(name string, opts ...Option) (*Device, error) {
 	if name == "" {
 		return nil, errors.New("cres: device needs a name")
 	}
-	c := config{seed: 1, arch: ArchCRES, fwVersion: 1, monitorWindow: time.Millisecond, obsPeriod: time.Millisecond, detectMode: DetectCombined}
+	return NewDeviceFromSpec(scenario.DeviceSpec{Name: name, Seed: 1}, opts...)
+}
+
+// NewDeviceFromSpec assembles a device from a declarative spec — the
+// compiled-scenario path the campaign and the experiment drivers use.
+// Options may still supply runtime wiring (shared engine, network,
+// vendor key) or override spec fields.
+func NewDeviceFromSpec(spec scenario.DeviceSpec, opts ...Option) (*Device, error) {
+	c := config{spec: spec}
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.fwPayload == nil {
-		c.fwPayload = []byte("reference firmware")
+	compiled, err := c.spec.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("cres: %w", err)
 	}
-	if c.services == nil {
-		c.services = DefaultServices()
-	}
-	if c.cfg == nil {
-		c.cfg = DefaultCFG()
-	}
+	return assemble(compiled, c)
+}
+
+// assemble builds the platform a compiled spec describes: the shared
+// substrate first (SoC, TPM, boot chain, TEE, firmware, services,
+// policy, optional network endpoint), then the architecture-specific
+// layers.
+func assemble(compiled *scenario.CompiledDevice, c config) (*Device, error) {
+	s := compiled.Spec
+	name := s.Name
 
 	engine := c.engine
 	if engine == nil {
-		engine = sim.New(c.seed)
+		engine = sim.New(s.Seed)
 	}
-	soc, err := hw.NewSoC(engine, hw.SoCConfig{WithSSMCore: c.arch == ArchCRES})
+	soc, err := hw.NewSoC(engine, hw.SoCConfig{WithSSMCore: compiled.IsCRES()})
 	if err != nil {
 		return nil, fmt.Errorf("cres: %w", err)
 	}
@@ -277,28 +288,32 @@ func NewDevice(name string, opts ...Option) (*Device, error) {
 		}
 	}
 
+	arch := ArchCRES
+	if !compiled.IsCRES() {
+		arch = ArchBaseline
+	}
 	d := &Device{
 		Name:      name,
-		Arch:      c.arch,
+		Arch:      arch,
 		Engine:    engine,
 		SoC:       soc,
 		TPM:       tp,
-		Chain:     boot.NewChain(vendor.Public(), c.bootOpts),
-		TEE:       tee.New(engine, soc, c.teeCfg),
+		Chain:     boot.NewChain(vendor.Public(), s.Boot),
+		TEE:       tee.New(engine, soc, s.TEE),
 		Vendor:    vendor,
 		Actuators: make(map[string]*hw.Actuator),
-		cfg:       c,
+		spec:      compiled,
 	}
 	d.Updater = recovery.NewUpdater(soc.Mem, d.Chain, tp)
 
 	// Install the initial firmware.
-	im := boot.BuildSigned("firmware", c.fwVersion, c.fwPayload, vendor)
+	im := boot.BuildSigned("firmware", s.FirmwareVersion, s.FirmwarePayload, vendor)
 	if err := boot.InstallImage(soc.Mem, boot.SlotA, im); err != nil {
 		return nil, fmt.Errorf("cres: %w", err)
 	}
 
 	// Services / degradation tracking exists on both architectures.
-	d.Degrader, err = response.NewDegrader(c.services)
+	d.Degrader, err = response.NewDegrader(s.Services)
 	if err != nil {
 		return nil, fmt.Errorf("cres: %w", err)
 	}
@@ -327,29 +342,57 @@ func NewDevice(name string, opts ...Option) (*Device, error) {
 		d.Network = c.network
 	}
 
-	switch c.arch {
-	case ArchCRES:
+	if compiled.IsCRES() {
 		if err := d.buildCRES(); err != nil {
 			return nil, err
 		}
-	case ArchBaseline:
+	} else {
 		d.PlainLog = &baseline.PlainLog{}
-		d.Baseline = baseline.NewController(engine, baseline.Config{RebootDuration: c.rebootTime}, d.PlainLog, d.Degrader)
-	default:
-		return nil, fmt.Errorf("cres: unknown architecture %v", c.arch)
+		d.Baseline = baseline.NewController(engine, baseline.Config{RebootDuration: s.RebootTime}, d.PlainLog, d.Degrader)
 	}
 	return d, nil
 }
 
-// buildCRES wires monitors, SSM, responder and playbook.
+// buildCRES wires the architecture's three characteristics in fixed
+// order: the isolated SSM core and response manager first, then each
+// runtime monitor the compiled spec enables. The order is part of the
+// output contract — engine callbacks register as monitors construct,
+// so the experiment tables are byte-identical only while it holds.
 func (d *Device) buildCRES() error {
+	if err := d.buildSSM(); err != nil {
+		return err
+	}
+	for _, build := range []struct {
+		monitor string
+		fn      func() error
+	}{
+		{scenario.MonitorBus, d.buildBusMonitor},
+		{scenario.MonitorCFI, d.buildCFIMonitor},
+		{scenario.MonitorTiming, d.buildTimingMonitor},
+		{scenario.MonitorEnv, d.buildEnvMonitor},
+		{scenario.MonitorNet, d.buildNetMonitor},
+	} {
+		if !d.spec.MonitorOn(build.monitor) {
+			continue
+		}
+		if err := build.fn(); err != nil {
+			return err
+		}
+	}
+	return d.installPlaybook()
+}
+
+// buildSSM creates the isolated security manager and the active
+// response manager whose actions it records as evidence.
+func (d *Device) buildSSM() error {
 	ssmKey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("ssm-anchor"), d.Name, "", 32))
 	if err != nil {
 		return fmt.Errorf("cres: %w", err)
 	}
+	obs := d.spec.Spec.ObservationPeriod
 	d.SSM, err = core.New(d.Engine, core.Config{
-		ObservationPeriod: d.cfg.obsPeriod,
-		AnchorPeriod:      10 * d.cfg.obsPeriod,
+		ObservationPeriod: obs,
+		AnchorPeriod:      10 * obs,
 	}, ssmKey, nil)
 	if err != nil {
 		return fmt.Errorf("cres: %w", err)
@@ -358,13 +401,14 @@ func (d *Device) buildCRES() error {
 		d.SSM.Log().Append(a.At, "response-manager", evidence.KindResponse,
 			fmt.Sprintf("%s %s: %s", a.Kind, a.Target, a.Reason))
 	})
+	return nil
+}
 
-	sink := d.SSM
-	w := d.cfg.monitorWindow
-	mode := d.cfg.detectMode
-	signatures := mode == DetectCombined || mode == DetectSignatureOnly
-	anomalies := mode == DetectCombined || mode == DetectAnomalyOnly
-
+// buildBusMonitor wires the bus-transaction monitor: provisioned-world
+// cross-checks, firmware/NV watchpoints (signature family) and rate
+// anomaly detection (statistical family).
+func (d *Device) buildBusMonitor() error {
+	signatures := d.spec.SignatureDetection()
 	busCfg := monitor.BusConfig{
 		DisableSignatures: !signatures,
 		RateWarmup:        12,
@@ -382,66 +426,91 @@ func (d *Device) buildCRES() error {
 			{Region: hw.RegionNV, Kinds: []hw.TxKind{hw.TxWrite}, Allowed: []string{"tee", "ssm-core"}},
 		}
 	}
-	if anomalies {
-		busCfg.RateWindow = w
+	if d.spec.AnomalyDetection() {
+		busCfg.RateWindow = d.spec.Spec.MonitorWindow
 	}
-	d.BusMon, err = monitor.NewBusMonitor(d.Engine, busCfg, sink)
+	var err error
+	d.BusMon, err = monitor.NewBusMonitor(d.Engine, busCfg, d.SSM)
 	if err != nil {
 		return fmt.Errorf("cres: %w", err)
 	}
 	d.SoC.Bus.Subscribe(d.BusMon)
 	d.SSM.AttachMonitor(d.BusMon)
+	return nil
+}
 
-	if signatures {
-		// CFI checking is signature-based (known-good CFG).
-		d.CFIMon, err = monitor.NewCFIMonitor(d.Engine, d.cfg.cfg, sink)
-		if err != nil {
-			return fmt.Errorf("cres: %w", err)
-		}
-		d.SoC.AppCore.SubscribeExec(d.CFIMon)
-		d.SSM.AttachMonitor(d.CFIMon)
+// buildCFIMonitor wires control-flow integrity checking — signature-
+// based (known-good CFG), so it only exists when that family runs.
+func (d *Device) buildCFIMonitor() error {
+	if !d.spec.SignatureDetection() {
+		return nil
 	}
-
-	if anomalies {
-		// Cache-timing detection is statistical.
-		d.TimingMon, err = monitor.NewTimingMonitor(d.Engine, d.SoC.Cache, monitor.TimingConfig{
-			Window: w, CrossWorldPerWindow: 8,
-		}, sink)
-		if err != nil {
-			return fmt.Errorf("cres: %w", err)
-		}
-		d.SSM.AttachMonitor(d.TimingMon)
+	var err error
+	d.CFIMon, err = monitor.NewCFIMonitor(d.Engine, d.spec.Spec.CFG, d.SSM)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
 	}
+	d.SoC.AppCore.SubscribeExec(d.CFIMon)
+	d.SSM.AttachMonitor(d.CFIMon)
+	return nil
+}
 
+// buildTimingMonitor wires cache-timing detection — statistical, so it
+// only exists when that family runs.
+func (d *Device) buildTimingMonitor() error {
+	if !d.spec.AnomalyDetection() {
+		return nil
+	}
+	var err error
+	d.TimingMon, err = monitor.NewTimingMonitor(d.Engine, d.SoC.Cache, monitor.TimingConfig{
+		Window: d.spec.Spec.MonitorWindow, CrossWorldPerWindow: 8,
+	}, d.SSM)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.SSM.AttachMonitor(d.TimingMon)
+	return nil
+}
+
+// buildEnvMonitor wires the environmental monitor: out-of-band
+// detection (signature family) and drift detection (statistical).
+func (d *Device) buildEnvMonitor() error {
+	var err error
 	d.EnvMon, err = monitor.NewEnvMonitor(d.Engine, d.SoC.EnvSensors(), monitor.EnvConfig{
-		Window: w,
+		Window: d.spec.Spec.MonitorWindow,
 		Bands: map[string]monitor.EnvBand{
 			"vdd-core": {MaxDeviation: 0.05},
 			"pll-main": {MaxDeviation: 40},
 			"die-temp": {MaxDeviation: 15},
 		},
-		DisableBands: !signatures,
-		DisableDrift: !anomalies,
-	}, sink)
+		DisableBands: !d.spec.SignatureDetection(),
+		DisableDrift: !d.spec.AnomalyDetection(),
+	}, d.SSM)
 	if err != nil {
 		return fmt.Errorf("cres: %w", err)
 	}
 	d.SSM.AttachMonitor(d.EnvMon)
+	return nil
+}
 
-	if d.Endpoint != nil {
-		netCfg := monitor.NetConfig{AuthFailureEscalation: 3, DisableSignatures: !signatures}
-		if anomalies {
-			netCfg.RateWindow = w
-		}
-		d.NetMon, err = monitor.NewNetMonitor(d.Engine, netCfg, sink)
-		if err != nil {
-			return fmt.Errorf("cres: %w", err)
-		}
-		d.Endpoint.AttachMonitor(d.NetMon)
-		d.SSM.AttachMonitor(d.NetMon)
+// buildNetMonitor wires the network monitor onto the device's M2M
+// endpoint, when one exists.
+func (d *Device) buildNetMonitor() error {
+	if d.Endpoint == nil {
+		return nil
 	}
-
-	return d.installPlaybook()
+	netCfg := monitor.NetConfig{AuthFailureEscalation: 3, DisableSignatures: !d.spec.SignatureDetection()}
+	if d.spec.AnomalyDetection() {
+		netCfg.RateWindow = d.spec.Spec.MonitorWindow
+	}
+	var err error
+	d.NetMon, err = monitor.NewNetMonitor(d.Engine, netCfg, d.SSM)
+	if err != nil {
+		return fmt.Errorf("cres: %w", err)
+	}
+	d.Endpoint.AttachMonitor(d.NetMon)
+	d.SSM.AttachMonitor(d.NetMon)
+	return nil
 }
 
 // AddActuator registers a physical actuator with the device.
@@ -512,5 +581,5 @@ func (d *Device) ForensicReport(from, to sim.VirtualTime) *core.BreachReport {
 	if d.SSM == nil {
 		return nil
 	}
-	return core.Reconstruct(d.SSM.Log(), from, to, sim.VirtualTime(2*d.cfg.obsPeriod), d.SSM.Anchors(), d.SSM.AnchorKey())
+	return core.Reconstruct(d.SSM.Log(), from, to, sim.VirtualTime(2*d.spec.Spec.ObservationPeriod), d.SSM.Anchors(), d.SSM.AnchorKey())
 }

@@ -11,6 +11,7 @@ import (
 	"cres/internal/hw"
 	"cres/internal/m2m"
 	"cres/internal/monitor"
+	"cres/internal/scenario"
 	"cres/internal/sim"
 )
 
@@ -305,6 +306,52 @@ func TestTwoDevicesOnSharedNetwork(t *testing.T) {
 func TestArchitectureString(t *testing.T) {
 	if ArchCRES.String() != "cres" || ArchBaseline.String() != "baseline" {
 		t.Fatal("arch names")
+	}
+	for _, name := range []string{"cres", "baseline"} {
+		a, err := ParseArchitecture(name)
+		if err != nil || a.String() != name {
+			t.Fatalf("ParseArchitecture(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ParseArchitecture("riscv"); err == nil {
+		t.Fatal("bad architecture parsed")
+	}
+}
+
+// TestNewDeviceFromSpec pins the declarative assembly path: a spec
+// builds the device it describes, and an invalid spec fails at compile
+// time, not mid-assembly.
+func TestNewDeviceFromSpec(t *testing.T) {
+	dev, err := NewDeviceFromSpec(scenario.DeviceSpec{Name: "spec-dev", Arch: scenario.ArchBaseline, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Arch != ArchBaseline || dev.SSM != nil || dev.Baseline == nil {
+		t.Fatal("spec-built baseline device mis-assembled")
+	}
+	if _, err := NewDeviceFromSpec(scenario.DeviceSpec{Name: "d", Arch: "riscv"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := NewDeviceFromSpec(scenario.DeviceSpec{}); err == nil {
+		t.Fatal("nameless spec accepted")
+	}
+}
+
+// TestWithMonitorsSubset checks the monitor set is honored: a device
+// restricted to bus+env gets no CFI, timing or network monitor.
+func TestWithMonitorsSubset(t *testing.T) {
+	dev, err := NewDevice("subset", WithMonitors(scenario.MonitorBus, scenario.MonitorEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.BusMon == nil || dev.EnvMon == nil {
+		t.Fatal("requested monitors missing")
+	}
+	if dev.CFIMon != nil || dev.TimingMon != nil || dev.NetMon != nil {
+		t.Fatal("unrequested monitors built")
+	}
+	if _, err := NewDevice("bad", WithMonitors("seismic")); err == nil {
+		t.Fatal("unknown monitor name accepted")
 	}
 }
 

@@ -5,9 +5,8 @@ import (
 
 	"cres/internal/attack"
 	"cres/internal/harness"
-	"cres/internal/m2m"
 	"cres/internal/report"
-	"cres/internal/sim"
+	"cres/internal/scenario"
 )
 
 // This file implements the E3b ablation called out in DESIGN.md:
@@ -32,28 +31,28 @@ type E3bResult struct {
 }
 
 // newTestbedWithMode builds a CRES testbed with the given detection
-// mode.
+// mode — a shorthand over the spec path for tests.
 func newTestbedWithMode(seed int64, mode DetectionMode) (*testbed, error) {
-	engine := sim.New(seed)
-	net := m2m.NewNetwork(engine, m2m.Config{})
-	dev, err := NewDevice("dut", WithEngine(engine), WithNetwork(net), WithDetectionMode(mode))
-	if err != nil {
-		return nil, err
-	}
-	return finishTestbed(dev, net)
+	return newTestbedFromSpec(scenario.DeviceSpec{Name: "dut", Detection: mode.String(), Seed: seed})
 }
 
-// RunE3bDetectionAblation runs the attack suite under the three
-// detection modes. Each (mode, scenario) cell is an independent shard.
+// RunE3bDetectionAblation runs the registered attack suite against one
+// compiled device spec per detection mode. Each (mode, scenario) cell
+// is an independent shard.
 func RunE3bDetectionAblation(seed int64, opts ...RunOption) (*E3bResult, error) {
 	rc := newRunCfg(opts)
-	modes := []DetectionMode{DetectSignatureOnly, DetectAnomalyOnly, DetectCombined}
-	suite := attack.Suite()
+	devices := []scenario.DeviceSpec{
+		{Name: "dut", Detection: scenario.DetectSignatureOnly},
+		{Name: "dut", Detection: scenario.DetectAnomalyOnly},
+		{Name: "dut", Detection: scenario.DetectCombined},
+	}
+	suite := attack.All()
 
-	hits, err := harness.Map(rc.pool, len(modes)*len(suite), seed, func(sh harness.Shard) (bool, error) {
-		mode := modes[sh.Index/len(suite)]
+	hits, err := harness.Map(rc.pool, len(devices)*len(suite), seed, func(sh harness.Shard) (bool, error) {
+		spec := devices[sh.Index/len(suite)]
 		sc := suite[sh.Index%len(suite)]
-		tb, err := newTestbedWithMode(sh.Seed, mode)
+		spec.Seed = sh.Seed
+		tb, err := newTestbedFromSpec(spec)
 		if err != nil {
 			return false, err
 		}
@@ -75,7 +74,7 @@ func RunE3bDetectionAblation(seed int64, opts ...RunOption) (*E3bResult, error) 
 	detected := func(mode, scenario int) bool { return hits[mode*len(suite)+scenario] }
 
 	res := &E3bResult{Rates: make(map[string]float64)}
-	counts := make(map[DetectionMode]int)
+	counts := make([]int, len(devices))
 	for i, sc := range suite {
 		row := E3bRow{
 			Scenario:  sc.Name(),
@@ -84,16 +83,16 @@ func RunE3bDetectionAblation(seed int64, opts ...RunOption) (*E3bResult, error) 
 			Combined:  detected(2, i),
 		}
 		res.Rows = append(res.Rows, row)
-		for m := range modes {
+		for m := range devices {
 			if detected(m, i) {
-				counts[modes[m]]++
+				counts[m]++
 			}
 		}
 	}
 	n := float64(len(suite))
-	res.Rates["signature-only"] = float64(counts[DetectSignatureOnly]) / n
-	res.Rates["anomaly-only"] = float64(counts[DetectAnomalyOnly]) / n
-	res.Rates["combined"] = float64(counts[DetectCombined]) / n
+	for m, spec := range devices {
+		res.Rates[spec.Detection] = float64(counts[m]) / n
+	}
 
 	t := report.NewTable("E3b — Detection-mode ablation (any attack-window alert counts)",
 		"Scenario", "Signature-only", "Anomaly-only", "Combined")

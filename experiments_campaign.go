@@ -4,59 +4,56 @@ import (
 	"fmt"
 	"time"
 
-	"cres/internal/attack"
 	"cres/internal/core"
-	"cres/internal/harness"
 	"cres/internal/report"
+	"cres/internal/scenario"
 	"cres/internal/sim"
 )
 
 // This file implements E12, the scenario campaign: the full cross
-// product of every attack scenario × {cres, baseline} × N seeds, each
-// cell an independent device run on its own shard. Where E3 answers
-// "does CRES detect scenario X at one seed", the campaign answers the
-// paper's stronger claim — detection, response AND recovery hold across
-// the whole scenario space regardless of the simulation's random
-// stream — and it is the workload that exercises the sharded harness
-// hardest (22 × N independent engines).
+// product of every attack — the registered single scenarios plus the
+// staged multi-phase plans — × {cres, baseline} × N seeds, each cell
+// an independent device run on its own shard. Where E3 answers "does
+// CRES detect scenario X at one seed", the campaign answers the
+// paper's stronger claim — detection, response AND recovery hold
+// across the whole scenario space regardless of the simulation's
+// random stream. The matrix itself is data: a scenario.CampaignSpec
+// compiled into cells and fanned over the harness pool, so growing the
+// campaign means declaring a new scenario or plan, not editing this
+// file.
 
-// CampaignConfig parameterises RunE12Campaign.
+// CampaignConfig parameterises RunE12Campaign. It is the thin public
+// face of scenario.CampaignSpec: defaults are filled here, validation
+// happens in the spec's Compile.
 type CampaignConfig struct {
 	// RootSeed seeds the campaign; every cell derives its own engine
 	// seed from it. Zero is a valid root seed — it is used as given,
 	// never substituted.
 	RootSeed int64
-	// Seeds is the number of seed replicas per (scenario, architecture)
+	// Seeds is the number of seed replicas per (attack, architecture)
 	// cell. Default 3.
 	Seeds int
-	// Scenarios selects the attack scenarios. Default: the full suite.
-	Scenarios []attack.Scenario
+	// Scenarios selects single-scenario attacks by registry name. Nil
+	// selects every registered scenario; empty selects none.
+	Scenarios []string
+	// Plans selects the staged attack plans. Nil selects the built-in
+	// plans; empty selects none.
+	Plans []scenario.AttackPlan
 	// Warm is the healthy-workload period before the attack (default
 	// 15ms) and Window the observation period after launch (default
-	// 30ms).
+	// 30ms; plan cells extend it by the plan's horizon).
 	Warm, Window time.Duration
 }
 
-func (c *CampaignConfig) fillDefaults() {
-	if c.Seeds <= 0 {
-		c.Seeds = 3
-	}
-	if c.Scenarios == nil {
-		c.Scenarios = attack.Suite()
-	}
-	if c.Warm <= 0 {
-		c.Warm = 15 * time.Millisecond
-	}
-	if c.Window <= 0 {
-		c.Window = 30 * time.Millisecond
-	}
-}
-
-// E12Cell is one campaign run: one scenario on one architecture at one
+// E12Cell is one campaign run: one attack on one architecture at one
 // derived seed.
 type E12Cell struct {
-	Scenario  string
-	Arch      string
+	// Scenario is the attack name — a registered scenario or a staged
+	// plan.
+	Scenario string
+	Arch     string
+	// Kind is scenario.KindScenario or scenario.KindPlan.
+	Kind      string
 	SeedIndex int
 	Seed      int64
 	// Detected: CRES saw every expected signature; baseline logged
@@ -73,10 +70,11 @@ type E12Cell struct {
 	Recovered bool
 }
 
-// E12Row aggregates one (scenario, architecture) cell across seeds.
+// E12Row aggregates one (attack, architecture) cell across seeds.
 type E12Row struct {
 	Scenario string
 	Arch     string
+	Kind     string
 	Seeds    int
 	// Detected, Responded and Recovered count seeds where the outcome
 	// held.
@@ -98,27 +96,32 @@ type E12Result struct {
 	CRESRecoverRate float64
 }
 
-// RunE12Campaign runs the scenario campaign matrix. Cells are fanned
-// across the harness pool; the matrix is merged in cell order, so the
-// result is byte-identical at any parallelism.
+// RunE12Campaign compiles the campaign spec and runs its matrix. Cells
+// are fanned across the harness pool; the matrix is merged in cell
+// order, so the result is byte-identical at any parallelism.
 func RunE12Campaign(cfg CampaignConfig, opts ...RunOption) (*E12Result, error) {
 	rc := newRunCfg(opts)
-	cfg.fillDefaults()
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 3
+	}
+	cc, err := scenario.CampaignSpec{
+		RootSeed:  cfg.RootSeed,
+		Seeds:     cfg.Seeds,
+		Scenarios: cfg.Scenarios,
+		Plans:     cfg.Plans,
+		Warm:      cfg.Warm,
+		Window:    cfg.Window,
+	}.Compile()
+	if err != nil {
+		return nil, err
+	}
 
-	archs := []Architecture{ArchCRES, ArchBaseline}
-	perScenario := len(archs) * cfg.Seeds
-	total := len(cfg.Scenarios) * perScenario
-
-	cells, err := harness.Map(rc.pool, total, cfg.RootSeed, func(sh harness.Shard) (E12Cell, error) {
-		sc := cfg.Scenarios[sh.Index/perScenario]
-		rest := sh.Index % perScenario
-		arch := archs[rest/cfg.Seeds]
-		seedIdx := rest % cfg.Seeds
-		cell, err := runCampaignCell(sc, arch, seedIdx, sh.Seed, cfg.Warm, cfg.Window)
+	cells, err := scenario.RunCells(rc.pool, cc, func(cell scenario.Cell) (E12Cell, error) {
+		out, err := runCampaignCell(cell)
 		if err != nil {
-			return E12Cell{}, fmt.Errorf("campaign %s/%s seed %d: %w", sc.Name(), arch, seedIdx, err)
+			return E12Cell{}, fmt.Errorf("campaign %s/%s seed %d: %w", cell.Attack.Name, cell.Device.Spec.Arch, cell.SeedIndex, err)
 		}
-		return cell, nil
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
@@ -126,12 +129,21 @@ func RunE12Campaign(cfg CampaignConfig, opts ...RunOption) (*E12Result, error) {
 
 	res := &E12Result{Cells: cells}
 	var cresCells, cresDetected, cresRecovered, baseCells, baseDetected int
-	for si, sc := range cfg.Scenarios {
-		for ai, arch := range archs {
-			row := E12Row{Scenario: sc.Name(), Arch: arch.String(), Seeds: cfg.Seeds}
+	perAttack := len(cc.Devices) * cfg.Seeds
+	var scenarios, plans int
+	for _, att := range cc.Attacks {
+		if att.Kind == scenario.KindPlan {
+			plans++
+		} else {
+			scenarios++
+		}
+	}
+	for ai, att := range cc.Attacks {
+		for di, dev := range cc.Devices {
+			row := E12Row{Scenario: att.Name, Arch: dev.Spec.Arch, Kind: att.Kind, Seeds: cfg.Seeds}
 			var latSum time.Duration
 			for s := 0; s < cfg.Seeds; s++ {
-				cell := cells[si*perScenario+ai*cfg.Seeds+s]
+				cell := cells[ai*perAttack+di*cfg.Seeds+s]
 				if cell.Detected {
 					row.Detected++
 					latSum += cell.Latency
@@ -142,7 +154,7 @@ func RunE12Campaign(cfg CampaignConfig, opts ...RunOption) (*E12Result, error) {
 				if cell.Recovered {
 					row.Recovered++
 				}
-				if arch == ArchCRES {
+				if dev.IsCRES() {
 					cresCells++
 					if cell.Detected {
 						cresDetected++
@@ -173,50 +185,60 @@ func RunE12Campaign(cfg CampaignConfig, opts ...RunOption) (*E12Result, error) {
 
 	frac := func(n, of int) string { return fmt.Sprintf("%d/%d", n, of) }
 	t := report.NewTable(
-		fmt.Sprintf("E12 — Scenario campaign: %d scenarios × {cres, baseline} × %d seeds (root seed %d)",
-			len(cfg.Scenarios), cfg.Seeds, cfg.RootSeed),
-		"Scenario", "Arch", "Detected", "Mean latency", "Responded", "Recovered")
+		fmt.Sprintf("E12 — Scenario campaign: %d scenarios + %d staged plans × {cres, baseline} × %d seeds (root seed %d)",
+			scenarios, plans, cfg.Seeds, cfg.RootSeed),
+		"Attack", "Kind", "Arch", "Detected", "Mean latency", "Responded", "Recovered")
 	for _, r := range res.Rows {
 		lat, rec := "-", "-"
 		if r.Detected > 0 {
 			lat = r.MeanLatency.String()
 		}
-		if r.Arch == "cres" {
+		if r.Arch == scenario.ArchCRES {
 			rec = frac(r.Recovered, r.Seeds)
 		}
-		t.AddRow(r.Scenario, r.Arch, frac(r.Detected, r.Seeds), lat, frac(r.Responded, r.Seeds), rec)
+		t.AddRow(r.Scenario, r.Kind, r.Arch, frac(r.Detected, r.Seeds), lat, frac(r.Responded, r.Seeds), rec)
 	}
-	t.AddRow("TOTAL cres", "", report.Pct(res.CRESDetectRate), "", "", report.Pct(res.CRESRecoverRate))
-	t.AddRow("TOTAL baseline", "", report.Pct(res.BaselineDetectRate), "", "", "-")
+	t.AddRow("TOTAL cres", "", "", report.Pct(res.CRESDetectRate), "", "", report.Pct(res.CRESRecoverRate))
+	t.AddRow("TOTAL baseline", "", "", report.Pct(res.BaselineDetectRate), "", "", "-")
 	res.Table = t
 	return res, nil
 }
 
-// runCampaignCell executes one campaign cell: warm, attack, observe,
-// then — on CRES — the operator recovery flow.
-func runCampaignCell(sc attack.Scenario, arch Architecture, seedIdx int, seed int64, warm, window time.Duration) (E12Cell, error) {
-	cell := E12Cell{Scenario: sc.Name(), Arch: arch.String(), SeedIndex: seedIdx, Seed: seed}
-	tb, err := newTestbed(arch, seed)
-	if err != nil {
-		return cell, err
+// runCampaignCell executes one compiled campaign cell: build the
+// device the cell's spec describes, warm, attack, observe, then — on
+// CRES — the operator recovery flow.
+func runCampaignCell(cell scenario.Cell) (E12Cell, error) {
+	out := E12Cell{
+		Scenario:  cell.Attack.Name,
+		Arch:      cell.Device.Spec.Arch,
+		Kind:      cell.Attack.Kind,
+		SeedIndex: cell.SeedIndex,
+		Seed:      cell.Seed,
 	}
-	if err := tb.warm(warm); err != nil {
-		return cell, err
+	spec := cell.Device.Spec
+	spec.Seed = cell.Seed
+	tb, err := newTestbedFromSpec(spec)
+	if err != nil {
+		return out, err
+	}
+	if err := tb.warm(cell.Warm); err != nil {
+		return out, err
 	}
 
+	sc := cell.Attack.Scenario
 	logBefore := 0
 	if tb.dev.PlainLog != nil {
 		logBefore = tb.dev.PlainLog.Len()
 	}
 	launchAt := tb.dev.Now()
 	if err := sc.Launch(tb.tgt); err != nil {
-		return cell, err
+		return out, err
 	}
-	tb.dev.RunFor(window)
+	tb.dev.RunFor(cell.Window)
 
-	if arch == ArchBaseline {
-		cell.Detected = tb.dev.PlainLog.Len() > logBefore
-		return cell, nil
+	if tb.dev.SSM == nil {
+		out.Detected = tb.dev.PlainLog.Len() > logBefore
+		return out, nil
 	}
 
 	all := true
@@ -231,24 +253,24 @@ func runCampaignCell(sc attack.Scenario, arch Architecture, seedIdx int, seed in
 			firstAt = d.At
 		}
 	}
-	cell.Detected = all
+	out.Detected = all
 	if all {
-		cell.Latency = firstAt.Sub(launchAt)
+		out.Latency = firstAt.Sub(launchAt)
 	}
-	cell.Responded = tb.dev.SSM.ResponsesFired() > 0
+	out.Responded = tb.dev.SSM.ResponsesFired() > 0
 
 	// Operator recovery: restore whatever the playbook isolated, then
 	// declare the application core verified clean. Recovery counts only
 	// if the device ends healthy with its critical service up.
 	for _, resource := range tb.dev.Responder.Isolated() {
 		if err := tb.dev.Recover(resource, "campaign: operator verified and restored"); err != nil {
-			return cell, err
+			return out, err
 		}
 	}
 	if err := tb.dev.Recover(tb.dev.SoC.AppCore.Name(), "campaign: post-incident health check"); err != nil {
-		return cell, err
+		return out, err
 	}
 	tb.dev.RunFor(5 * time.Millisecond)
-	cell.Recovered = tb.dev.SSM.State() == core.StateHealthy && tb.dev.Degrader.CriticalUp()
-	return cell, nil
+	out.Recovered = tb.dev.SSM.State() == core.StateHealthy && tb.dev.Degrader.CriticalUp()
+	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"cres/internal/attack"
 	"cres/internal/harness"
+	"cres/internal/scenario"
 )
 
 func TestE12CampaignOutcomes(t *testing.T) {
@@ -13,8 +14,8 @@ func TestE12CampaignOutcomes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite := attack.Suite()
-	if want := len(suite) * 2 * 2; len(res.Cells) != want {
+	attacks := len(attack.All()) + len(scenario.BuiltinPlans())
+	if want := attacks * 2 * 2; len(res.Cells) != want {
 		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
 	}
 	if res.CRESDetectRate != 1.0 {
@@ -26,6 +27,7 @@ func TestE12CampaignOutcomes(t *testing.T) {
 	if res.CRESRecoverRate != 1.0 {
 		t.Fatalf("CRES recovery rate = %v\n%s", res.CRESRecoverRate, res.Table.Render())
 	}
+	plans := 0
 	for _, cell := range res.Cells {
 		if cell.Arch == "baseline" && (cell.Responded || cell.Recovered) {
 			t.Errorf("baseline cell %s claims response/recovery", cell.Scenario)
@@ -33,14 +35,30 @@ func TestE12CampaignOutcomes(t *testing.T) {
 		if cell.Arch == "cres" && cell.Detected && cell.Latency < 0 {
 			t.Errorf("cres cell %s has negative latency", cell.Scenario)
 		}
+		if cell.Kind == scenario.KindPlan {
+			plans++
+		}
+	}
+	// Every built-in staged plan appears in the matrix on both
+	// architectures at every seed replica.
+	if want := len(scenario.BuiltinPlans()) * 2 * 2; plans != want {
+		t.Fatalf("plan cells = %d, want %d", plans, want)
+	}
+	for _, p := range scenario.BuiltinPlans() {
+		if !strings.Contains(res.Table.Render(), p.Name) {
+			t.Errorf("table lacks plan row %s", p.Name)
+		}
 	}
 }
 
 // TestE12CampaignDeterministicAcrossParallelism is the determinism
-// property the CI gate enforces end-to-end: the campaign matrix must be
-// byte-identical whether cells run serially or across 8 workers.
+// property the CI gate enforces end-to-end: the campaign matrix —
+// staged plans included — must be byte-identical whether cells run
+// serially or across 8 workers.
 func TestE12CampaignDeterministicAcrossParallelism(t *testing.T) {
-	cfg := CampaignConfig{RootSeed: 7, Seeds: 2, Scenarios: attack.Suite()[:4]}
+	cfg := CampaignConfig{RootSeed: 7, Seeds: 2,
+		Scenarios: []string{"secure-probe", "firmware-tamper", "code-injection"},
+		Plans:     scenario.BuiltinPlans()[:1]}
 	serial, err := RunE12Campaign(cfg, WithParallel(1))
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +79,8 @@ func TestE12CampaignDeterministicAcrossParallelism(t *testing.T) {
 }
 
 func TestE12CampaignDefaultsAndSubset(t *testing.T) {
-	res, err := RunE12Campaign(CampaignConfig{RootSeed: 9, Seeds: 1, Scenarios: []attack.Scenario{attack.SecureProbe{}}})
+	res, err := RunE12Campaign(CampaignConfig{RootSeed: 9, Seeds: 1,
+		Scenarios: []string{"secure-probe"}, Plans: []scenario.AttackPlan{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +98,23 @@ func TestE12CampaignDefaultsAndSubset(t *testing.T) {
 	}
 }
 
+// TestE12CampaignRejectsBadSpecs pins that spec validation reaches the
+// public API: unknown scenario names fail compilation, not mid-run.
+func TestE12CampaignRejectsBadSpecs(t *testing.T) {
+	if _, err := RunE12Campaign(CampaignConfig{Seeds: 1, Scenarios: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+	bad := scenario.AttackPlan{Name: "p", Stages: []scenario.PlanStage{{Scenario: "ghost"}}}
+	if _, err := RunE12Campaign(CampaignConfig{Seeds: 1, Plans: []scenario.AttackPlan{bad}}); err == nil {
+		t.Fatal("plan with unknown stage scenario accepted")
+	}
+}
+
 // TestE12CampaignHonorsSeedZero pins that root seed 0 is used as given,
 // not silently replaced by a default: its derived cell seeds must differ
 // from root seed 7's.
 func TestE12CampaignHonorsSeedZero(t *testing.T) {
-	cfg := CampaignConfig{Seeds: 1, Scenarios: []attack.Scenario{attack.SecureProbe{}}}
+	cfg := CampaignConfig{Seeds: 1, Scenarios: []string{"secure-probe"}, Plans: []scenario.AttackPlan{}}
 	zero, err := RunE12Campaign(cfg)
 	if err != nil {
 		t.Fatal(err)

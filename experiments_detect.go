@@ -11,6 +11,7 @@ import (
 	"cres/internal/hw"
 	"cres/internal/m2m"
 	"cres/internal/report"
+	"cres/internal/scenario"
 	"cres/internal/sim"
 )
 
@@ -28,16 +29,23 @@ type testbed struct {
 	peer *m2m.Endpoint
 }
 
-// newTestbed assembles a device of the given architecture ready for the
-// full attack suite.
-func newTestbed(arch Architecture, seed int64) (*testbed, error) {
-	engine := sim.New(seed)
+// newTestbedFromSpec assembles the device a compiled-scenario cell
+// describes, on its own engine seeded from the spec, with the M2M
+// network the attack suite needs attached.
+func newTestbedFromSpec(spec scenario.DeviceSpec) (*testbed, error) {
+	engine := sim.New(spec.Seed)
 	net := m2m.NewNetwork(engine, m2m.Config{})
-	dev, err := NewDevice("dut", WithEngine(engine), WithNetwork(net), WithArchitecture(arch))
+	dev, err := NewDeviceFromSpec(spec, WithEngine(engine), WithNetwork(net))
 	if err != nil {
 		return nil, err
 	}
 	return finishTestbed(dev, net)
+}
+
+// newTestbed assembles a device of the given architecture ready for the
+// full attack suite.
+func newTestbed(arch Architecture, seed int64) (*testbed, error) {
+	return newTestbedFromSpec(scenario.DeviceSpec{Name: "dut", Arch: arch.String(), Seed: seed})
 }
 
 // finishTestbed completes a testbed around an already-constructed
@@ -113,24 +121,31 @@ type E3Result struct {
 	CRESRate, BaselineRate float64
 }
 
-// RunE3DetectionMatrix runs every attack scenario against a fresh CRES
-// device and a fresh baseline device and reports who detected what.
-// Each (scenario, architecture) cell is an independent shard.
+// RunE3DetectionMatrix runs every registered attack scenario against a
+// fresh device per compiled device spec — the reference CRES shape and
+// the passive baseline — and reports who detected what. Each
+// (scenario, device) cell is an independent shard.
 func RunE3DetectionMatrix(seed int64, opts ...RunOption) (*E3Result, error) {
 	rc := newRunCfg(opts)
-	suite := attack.Suite()
+	suite := attack.All()
+	devices := []scenario.DeviceSpec{
+		{Name: "dut", Arch: scenario.ArchCRES},
+		{Name: "dut", Arch: scenario.ArchBaseline},
+	}
 
 	// Even shards are CRES cells, odd shards the matching baseline cell.
 	type e3cell struct {
 		row              E3Row
 		baselineDetected bool
 	}
-	cells, err := harness.Map(rc.pool, len(suite)*2, seed, func(sh harness.Shard) (e3cell, error) {
-		sc := suite[sh.Index/2]
-		if sh.Index%2 == 0 {
+	cells, err := harness.Map(rc.pool, len(suite)*len(devices), seed, func(sh harness.Shard) (e3cell, error) {
+		sc := suite[sh.Index/len(devices)]
+		spec := devices[sh.Index%len(devices)]
+		spec.Seed = sh.Seed
+		if spec.Arch == scenario.ArchCRES {
 			// CRES run.
 			row := E3Row{Scenario: sc.Name(), ExpectedSig: sc.ExpectedSignatures()[0]}
-			tb, err := newTestbed(ArchCRES, sh.Seed)
+			tb, err := newTestbedFromSpec(spec)
 			if err != nil {
 				return e3cell{}, fmt.Errorf("e3 %s: %w", sc.Name(), err)
 			}
@@ -165,7 +180,7 @@ func RunE3DetectionMatrix(seed int64, opts ...RunOption) (*E3Result, error) {
 		// Baseline run: no monitors exist, so detection is structurally
 		// impossible; we still run the attack to confirm it proceeds
 		// unobserved (no log records beyond boot).
-		bb, err := newTestbed(ArchBaseline, sh.Seed)
+		bb, err := newTestbedFromSpec(spec)
 		if err != nil {
 			return e3cell{}, err
 		}

@@ -465,19 +465,8 @@ func (LogWipe) Launch(tgt *Target) error {
 	return nil
 }
 
-// Suite returns every scenario in a stable order.
-func Suite() []Scenario {
-	return []Scenario{
-		SecureProbe{},
-		FirmwareTamper{},
-		FirmwareDowngrade{},
-		BusAttributeTamper{},
-		CodeInjection{},
-		ControlFlowHijack{},
-		CacheCovertChannel{Trustlet: "keymaster"},
-		VoltageGlitch{},
-		M2MMITM{},
-		BusFlood{},
-		LogWipe{},
-	}
-}
+// Suite returns every registered scenario in a stable order.
+//
+// Deprecated: Suite predates the registry and is kept for callers that
+// grew around it; new code should use All, which it now aliases.
+func Suite() []Scenario { return All() }

@@ -1,0 +1,135 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stage is one step of a staged attack: a scenario launched at a fixed
+// delay after the composite launches, optionally repeated.
+type Stage struct {
+	// Scenario is the attack this stage injects.
+	Scenario Scenario
+	// Delay is virtual time from the composite's launch to this stage's
+	// first injection.
+	Delay time.Duration
+	// Repeat is how many times the stage's scenario launches (default 1).
+	Repeat int
+	// Gap separates repeated launches (default 1ms when Repeat > 1).
+	Gap time.Duration
+}
+
+// DefaultStageGap separates repeated stage launches when Stage.Gap is
+// unset.
+const DefaultStageGap = time.Millisecond
+
+// Staged composes scenarios into one multi-phase attack — the probe →
+// escalate → destroy-evidence shape of a real intrusion, which no
+// single-scenario injection exercises. It implements Scenario, so a
+// staged plan drops into every harness a single attack fits: the
+// campaign matrix, the cresim CLI, the detection experiments.
+//
+// Each stage's scenario is scheduled at its delay on the target's
+// engine; the stages' own activity then interleaves under the
+// simulator's deterministic clock. ExpectedSignatures is the union of
+// the stages' signatures in first-occurrence order, so detection checks
+// require every phase of the intrusion to be seen, not just the
+// loudest.
+type Staged struct {
+	// PlanName is the composite's stable identifier.
+	PlanName string
+	// Desc describes the intrusion the composition models.
+	Desc string
+	// Stages run in order of their delays. Stage 0 launches
+	// synchronously when its delay is zero, so a plan's first phase
+	// fails fast on an incomplete target.
+	Stages []Stage
+}
+
+// Name implements Scenario.
+func (s Staged) Name() string { return s.PlanName }
+
+// Description implements Scenario.
+func (s Staged) Description() string {
+	if s.Desc != "" {
+		return s.Desc
+	}
+	return fmt.Sprintf("staged attack plan (%d stages)", len(s.Stages))
+}
+
+// ExpectedSignatures implements Scenario: the union of the stages'
+// signatures, deduplicated, in first-occurrence order.
+func (s Staged) ExpectedSignatures() []string {
+	var sigs []string
+	seen := make(map[string]bool)
+	for _, st := range s.Stages {
+		for _, sig := range st.Scenario.ExpectedSignatures() {
+			if !seen[sig] {
+				seen[sig] = true
+				sigs = append(sigs, sig)
+			}
+		}
+	}
+	return sigs
+}
+
+// Horizon is the delay of the last injection the plan schedules —
+// observation windows must extend at least this far past launch for
+// every stage to have run at all.
+func (s Staged) Horizon() time.Duration {
+	var h time.Duration
+	for _, st := range s.Stages {
+		end := st.Delay
+		if st.Repeat > 1 {
+			gap := st.Gap
+			if gap <= 0 {
+				gap = DefaultStageGap
+			}
+			end += time.Duration(st.Repeat-1) * gap
+		}
+		if end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// Launch implements Scenario. Stages with zero delay launch
+// synchronously and report their error; deferred stages run from the
+// event queue, where a launch failure means the testbed was assembled
+// without a component the plan's later phases need — a harness bug, so
+// it panics just as an invalid repeat() period would.
+func (s Staged) Launch(tgt *Target) error {
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("attack: staged plan %q has no stages", s.PlanName)
+	}
+	if tgt.Engine == nil {
+		return fmt.Errorf("%w: Engine", ErrTargetIncomplete)
+	}
+	for si, st := range s.Stages {
+		gap := st.Gap
+		if gap <= 0 {
+			gap = DefaultStageGap
+		}
+		repeats := st.Repeat
+		if repeats <= 0 {
+			repeats = 1
+		}
+		for r := 0; r < repeats; r++ {
+			at := st.Delay + time.Duration(r)*gap
+			if at == 0 {
+				if err := st.Scenario.Launch(tgt); err != nil {
+					return fmt.Errorf("attack: plan %q stage %d (%s): %w", s.PlanName, si, st.Scenario.Name(), err)
+				}
+				continue
+			}
+			si, st := si, st
+			tgt.Engine.MustSchedule(at, func() {
+				if err := st.Scenario.Launch(tgt); err != nil {
+					panic(fmt.Sprintf("attack: plan %q stage %d (%s): %v", s.PlanName, si, st.Scenario.Name(), err))
+				}
+			})
+		}
+	}
+	return nil
+}
