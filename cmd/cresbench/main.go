@@ -20,10 +20,15 @@
 // the matrix: built-in plan names, "scenario@delay,..." custom syntax,
 // or "none" (default: every built-in plan).
 //
+// -fleet switches to the streaming fleet sweep alone: a comma-separated
+// size list ("4096,1048576") runs the E8 fleet engine at exactly those
+// sizes and reports devices/sec throughput alongside the summary table.
+//
 // Usage:
 //
 //	cresbench [-seed 7] [-quick] [-parallel N] [-only E3,E9] [-stable] [-json BENCH_perf.json]
 //	cresbench -campaign [-shards 3] [-seed 7] [-parallel N] [-plan implant-persist] [-json campaign.json]
+//	cresbench -fleet 4096,65536 [-parallel N] [-json fleet.json]
 package main
 
 import (
@@ -31,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"cres"
 	"cres/internal/harness"
@@ -47,6 +54,7 @@ type options struct {
 	campaign bool
 	shards   int
 	plan     string
+	fleet    string
 	only     string
 	stable   bool
 }
@@ -60,6 +68,7 @@ func main() {
 	flag.BoolVar(&o.campaign, "campaign", false, "run the E12 scenario campaign instead of the experiment suite")
 	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
 	flag.StringVar(&o.plan, "plan", "", `campaign staged plans: built-in names, "scenario@delay,..." syntax, or "none" (default: all built-ins)`)
+	flag.StringVar(&o.fleet, "fleet", "", `comma-separated fleet sizes, e.g. "4096,1048576": run the streaming fleet sweep only`)
 	flag.StringVar(&o.only, "only", "", "comma-separated experiment filter, e.g. E3,E9 (suite mode)")
 	flag.BoolVar(&o.stable, "stable", false, "mask host-clock readings so output is byte-identical across runs")
 	flag.Parse()
@@ -75,6 +84,7 @@ type benchReport struct {
 	Seed        int64             `json:"seed"`
 	Quick       bool              `json:"quick"`
 	E9          benchE9           `json:"e9"`
+	Fleet       benchFleet        `json:"fleet"`
 	Experiments []benchExperiment `json:"experiments"`
 }
 
@@ -97,6 +107,37 @@ type benchExperiment struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
+// benchFleet records the streaming fleet engine's throughput — the
+// scale argument: how many device appraisals per second one host
+// sustains with memory bounded by the batch size.
+type benchFleet struct {
+	TotalDevices  int             `json:"total_devices"`
+	DevicesPerSec float64         `json:"devices_per_sec"`
+	Rows          []benchFleetRow `json:"rows"`
+}
+
+type benchFleetRow struct {
+	Devices      int     `json:"devices"`
+	Shards       int     `json:"shards"`
+	Caught       int     `json:"caught"`
+	Tampered     int     `json:"tampered"`
+	CompletionMs float64 `json:"completion_virtual_ms"`
+}
+
+func fleetSection(res *cres.E8Result) benchFleet {
+	f := benchFleet{TotalDevices: res.TotalDevices, DevicesPerSec: res.DevicesPerSec()}
+	for _, r := range res.Rows {
+		f.Rows = append(f.Rows, benchFleetRow{
+			Devices:      r.Devices,
+			Shards:       r.Shards,
+			Caught:       r.Summary.Caught,
+			Tampered:     r.Summary.Tampered,
+			CompletionMs: float64(r.Summary.Completion.Milliseconds()),
+		})
+	}
+	return f
+}
+
 // campaignReport is the schema of the -campaign JSON artifact.
 type campaignReport struct {
 	Schema             string  `json:"schema"`
@@ -111,8 +152,14 @@ type campaignReport struct {
 
 func run(o options) error {
 	pool := harness.NewPool(o.parallel)
+	if o.campaign && o.fleet != "" {
+		return fmt.Errorf("-campaign and -fleet are exclusive modes")
+	}
 	if o.campaign {
 		return runCampaign(o, pool)
+	}
+	if o.fleet != "" {
+		return runFleet(o, pool)
 	}
 	return runSuite(o, pool)
 }
@@ -155,6 +202,9 @@ func runSuite(o options, pool *harness.Pool) error {
 		})
 		for _, block := range out.Blocks {
 			fmt.Println(block)
+		}
+		if e8, ok := out.Payload.(*cres.E8Result); ok {
+			rep.Fleet = fleetSection(e8)
 		}
 		if e9, ok := out.Payload.(*cres.E9Result); ok {
 			rep.E9.Txs = e9.Txs
@@ -213,6 +263,66 @@ func runCampaign(o options, pool *harness.Pool) error {
 		fmt.Printf("wrote campaign report to %s\n", o.jsonPath)
 	}
 	return nil
+}
+
+// fleetReport is the schema of the -fleet JSON artifact.
+type fleetReport struct {
+	Schema string     `json:"schema"`
+	Seed   int64      `json:"seed"`
+	Fleet  benchFleet `json:"fleet"`
+}
+
+// runFleet runs the streaming fleet sweep at exactly the -fleet sizes.
+func runFleet(o options, pool *harness.Pool) error {
+	sizes, err := parseFleetSizes(o.fleet)
+	if err != nil {
+		return err
+	}
+	fmt.Println("CRES streaming fleet sweep — remote attestation at fleet scale")
+	fmt.Println()
+	res, err := cres.RunE8FleetAttestation(sizes, o.seed, cres.WithRunPool(pool))
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table.Render())
+	fmt.Println(res.Series.Render())
+	// Throughput is a host-clock reading; mask it under -stable so the
+	// determinism gates can diff -fleet output too.
+	if o.stable {
+		fmt.Printf("appraised %d devices (throughput masked by -stable)\n", res.TotalDevices)
+	} else {
+		fmt.Printf("appraised %d devices in %v (%.0f devices/sec)\n", res.TotalDevices, res.Wall.Round(time.Millisecond), res.DevicesPerSec())
+	}
+
+	if o.jsonPath != "" {
+		rep := fleetReport{Schema: "cres-fleet/v1", Seed: o.seed, Fleet: fleetSection(res)}
+		if err := writeJSON(o.jsonPath, &rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet report to %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// parseFleetSizes parses the -fleet value: a comma-separated list of
+// positive device counts.
+func parseFleetSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-fleet size %q: want a positive device count", field)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-fleet value %q names no sizes", s)
+	}
+	return sizes, nil
 }
 
 func registryNames() string {

@@ -126,3 +126,59 @@ func TestRunCampaignRejectsBadPlan(t *testing.T) {
 		t.Fatal("unknown plan accepted")
 	}
 }
+
+func TestRunFleetMode(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "fleet.json")
+	if err := run(options{seed: 7, fleet: "4,512", parallel: 4, jsonPath: jsonPath, stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("fleet report not written: %v", err)
+	}
+	var rep fleetReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cres-fleet/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Fleet.TotalDevices != 4+512 {
+		t.Fatalf("total devices = %d", rep.Fleet.TotalDevices)
+	}
+	if rep.Fleet.DevicesPerSec <= 0 {
+		t.Fatalf("devices/sec = %v, want > 0", rep.Fleet.DevicesPerSec)
+	}
+	if len(rep.Fleet.Rows) != 2 || rep.Fleet.Rows[1].Caught != 64 {
+		t.Fatalf("fleet rows = %+v", rep.Fleet.Rows)
+	}
+}
+
+func TestRunQuickRecordsFleetThroughput(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(options{seed: 7, quick: true, only: "E8", parallel: 2, jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fleet.DevicesPerSec <= 0 || rep.Fleet.TotalDevices == 0 {
+		t.Fatalf("suite run recorded no fleet throughput: %+v", rep.Fleet)
+	}
+}
+
+func TestRunRejectsFleetSizes(t *testing.T) {
+	for _, bad := range []string{"0", "-5", "abc", ",,", "4096,x"} {
+		if err := run(options{seed: 7, fleet: bad}); err == nil {
+			t.Errorf("-fleet %q accepted", bad)
+		}
+	}
+	if err := run(options{seed: 7, fleet: "4", campaign: true}); err == nil {
+		t.Error("-fleet with -campaign accepted")
+	}
+}

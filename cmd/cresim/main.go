@@ -8,6 +8,10 @@
 // seeds, fanned across -parallel workers, printed as one outcome
 // matrix.
 //
+// The -fleet mode is the streaming fleet smoke: attest an N-device
+// fleet on the fleet engine and print the merged summary plus the
+// sampled anomalous devices.
+//
 // Usage:
 //
 //	cresim -list
@@ -17,6 +21,7 @@
 //	cresim -plan "secure-probe@0,log-wipe@10ms*3"
 //	cresim -all
 //	cresim -campaign [-plan implant-persist] [-shards 3] [-parallel N] [-seed 7]
+//	cresim -fleet 4096 [-parallel N] [-seed 7]
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"cres"
 	"cres/internal/attack"
+	"cres/internal/fleet"
 	"cres/internal/harness"
 	"cres/internal/scenario"
 )
@@ -41,6 +47,7 @@ type options struct {
 	arch     string
 	seed     int64
 	campaign bool
+	fleet    int
 	shards   int
 	parallel int
 }
@@ -54,6 +61,7 @@ func main() {
 	flag.StringVar(&o.arch, "arch", "cres", "architecture: cres, baseline or both")
 	flag.Int64Var(&o.seed, "seed", 7, "simulation seed (campaign: root seed)")
 	flag.BoolVar(&o.campaign, "campaign", false, "run the scenario campaign matrix")
+	flag.IntVar(&o.fleet, "fleet", 0, "attest an N-device fleet on the streaming engine (smoke mode)")
 	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
 	flag.IntVar(&o.parallel, "parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -74,6 +82,10 @@ func run(o options) error {
 			fmt.Printf("%-22s [plan] %s\n", p.Name, p.Description)
 		}
 		return nil
+	}
+
+	if o.fleet > 0 {
+		return runFleet(o)
 	}
 
 	if o.campaign {
@@ -154,6 +166,59 @@ func selectAttacks(o options) ([]attack.Scenario, error) {
 		return nil, fmt.Errorf("nothing to run: give -scenario, -plan or -all (use -list)")
 	}
 	return attacks, nil
+}
+
+// runFleet is the streaming-fleet smoke: a mixed fleet (three quarters
+// sensors, one quarter gateways, each shape with its own tamper rate)
+// attested end to end on the fleet engine, with the anomaly sample
+// resolved back to shares through the engine's per-index functions.
+func runFleet(o options) error {
+	spec := scenario.FleetSpec{
+		Name: "smoke",
+		Size: o.fleet,
+		Shares: []scenario.FleetShare{
+			{Device: scenario.DeviceSpec{Name: "sensor"}, Fraction: 0.75, TamperRate: 0.02},
+			{Device: scenario.DeviceSpec{Name: "gateway", FirmwareVersion: 2, FirmwarePayload: []byte("gateway firmware")}, Fraction: 0.25, TamperRate: 0.005},
+		},
+	}
+	cf, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	eng, err := cf.Engine(o.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== streaming fleet smoke: %d devices, %d shards, batches of %d ===\n\n",
+		o.fleet, eng.NumShards(), eng.Config().BatchSize)
+
+	outs, err := harness.Map(harness.NewPool(o.parallel), eng.NumShards(), o.seed,
+		func(sh harness.Shard) (fleet.Summary, error) { return eng.RunShard(sh.Index) })
+	if err != nil {
+		return err
+	}
+	var sum fleet.Summary
+	for _, out := range outs {
+		sum = sum.Merge(out)
+	}
+
+	fmt.Printf("devices: %d  tampered: %d  caught: %d  false alarms: %d\n",
+		sum.Devices, sum.Tampered, sum.Caught, sum.FalseAlarms)
+	fmt.Printf("completion: %v (virtual)  mean latency: %v  p50: %v  p99: %v  max: %v\n\n",
+		sum.Completion, sum.MeanLatency(), sum.Quantile(0.5), sum.Quantile(0.99), sum.MaxLatency)
+	if len(sum.Sample) == 0 {
+		fmt.Println("no anomalous devices sampled")
+		return nil
+	}
+	// Anomalous = every non-healthy outcome: caught and missed tampered
+	// devices plus false alarms.
+	fmt.Printf("anomaly sample (%d of %d anomalous):\n", len(sum.Sample), sum.Tampered+sum.FalseAlarms)
+	for _, a := range sum.Sample {
+		share := cf.Config.Shares[eng.ShareOf(a.Index)]
+		fmt.Printf("  device %-8d %-8s share=%s latency=%v\n",
+			a.Index, fleet.ReasonString(a.Reason), share.Label, a.Latency)
+	}
+	return nil
 }
 
 func runOne(sc attack.Scenario, arch cres.Architecture, seed int64) error {

@@ -8,6 +8,12 @@ func TestList(t *testing.T) {
 	}
 }
 
+func TestRunFleetSmoke(t *testing.T) {
+	if err := run(options{fleet: 512, parallel: 2, seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSingleScenarioCRES(t *testing.T) {
 	if err := run(options{scenario: "secure-probe", arch: "cres", seed: 7}); err != nil {
 		t.Fatal(err)

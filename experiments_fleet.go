@@ -1,61 +1,59 @@
 package cres
 
 import (
-	"fmt"
 	"time"
 
-	"cres/internal/attest"
-	"cres/internal/cryptoutil"
+	"cres/internal/fleet"
 	"cres/internal/harness"
-	"cres/internal/m2m"
 	"cres/internal/report"
-	"cres/internal/sim"
-	"cres/internal/tpm"
+	"cres/internal/scenario"
 )
 
 // This file implements experiment E8: fleet-scale remote attestation —
 // the secure provisioning & attestation requirement of Table I exercised
-// at the verifier.
+// at the verifier, at production scale.
 //
-// Fleets larger than fleetShardSize are split across verifier shards:
-// each shard is an independent engine + network + verifier appraising a
-// contiguous slice of the fleet, the distributed-verifier tier a real
-// operator deploys at scale. Shards run concurrently under the harness
-// pool; fleet completion is the slowest shard (the shards operate in
-// parallel in the modelled deployment too), and catch counts merge in
-// shard order, so results are independent of the parallelism degree.
+// The sweep runs on the streaming fleet engine (internal/fleet): each
+// verifier shard appraises its slice of the fleet in fixed-size batches
+// and folds every appraisal into a mergeable summary the moment it
+// concludes, so memory is bounded by the batch size — never the fleet —
+// and the full-mode sweep reaches 1,048,576 devices. Device identity is
+// the global fleet index end to end: share assignment, tamper verdict,
+// nonce and anomaly-sample priority all derive from (seed, index), so
+// there is no name round-trip to truncate or misparse, and shard
+// summaries merge associatively in any order.
 
-// fleetShardSize is the number of devices one verifier shard appraises.
-// The shard split is a function of fleet size only — never of the worker
-// pool — so output is identical at any parallelism.
-const fleetShardSize = 512
-
-// FleetSizes returns the default E8 sweep: quick keeps CI smoke fast,
-// full stretches to the 10k-device fleets the sharded harness makes
-// affordable.
+// FleetSizes returns the default E8 sweep: quick keeps CI smoke fast
+// (but still crosses a batch boundary), full stretches three orders of
+// magnitude further to a million-device fleet.
 func FleetSizes(quick bool) []int {
 	if quick {
-		return []int{4, 16, 64}
+		return []int{4, 64, 512}
 	}
-	return []int{4, 16, 64, 256, 1024, 4096, 10240}
+	return []int{4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// E8FleetSpec is the reference fleet workload: a single-share fleet of
+// the reference device with every 8th device tampered — the
+// deterministic rule the classification regression tests pin.
+func E8FleetSpec(size int) scenario.FleetSpec {
+	return scenario.FleetSpec{
+		Name:         "e8",
+		Size:         size,
+		TamperEvery:  8,
+		TamperOffset: 3,
+	}
 }
 
 // E8Row is one fleet size's outcome.
 type E8Row struct {
-	Devices  int
-	Tampered int
+	// Devices is the fleet size.
+	Devices int
 	// Shards is the number of verifier shards the fleet was split into.
 	Shards int
-	// Caught is how many tampered devices were flagged untrusted.
-	Caught int
-	// FalseAlarms is how many healthy devices were flagged.
-	FalseAlarms int
-	// Completion is the virtual time from first challenge to last
-	// appraisal, taken over the slowest shard (shards verify in
-	// parallel).
-	Completion time.Duration
-	// PerDevice is the mean appraisal completion per device.
-	PerDevice time.Duration
+	// Summary is the merged fleet summary: counts, latency histogram,
+	// completion and the anomaly sample.
+	Summary fleet.Summary
 }
 
 // E8Result is the fleet attestation sweep.
@@ -63,183 +61,96 @@ type E8Result struct {
 	Rows   []E8Row
 	Table  *report.Table
 	Series report.Series
+	// TotalDevices is the number of devices appraised across the sweep,
+	// and Wall the host time the sweep took — DevicesPerSec is the
+	// throughput the benchmark artifact records.
+	TotalDevices int
+	Wall         time.Duration
 }
 
-// fleetMeasurements every healthy device extends at boot.
-var (
-	fleetROM    = cryptoutil.Sum([]byte("fleet boot rom"))
-	fleetFW     = cryptoutil.Sum([]byte("fleet firmware v7"))
-	fleetPolicy = cryptoutil.Sum([]byte("fleet policy v1"))
-	fleetEvil   = cryptoutil.Sum([]byte("implant"))
-)
-
-// fleetShardOut is one verifier shard's contribution to a fleet row.
-type fleetShardOut struct {
-	tampered    int
-	caught      int
-	falseAlarms int
-	completion  time.Duration
+// DevicesPerSec is the sweep's host-clock appraisal throughput.
+func (r *E8Result) DevicesPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.TotalDevices) / r.Wall.Seconds()
 }
 
-// RunE8FleetAttestation sweeps fleet sizes, tampering with 1 in 8
-// devices, and measures verifier completion time and catch rate. Every
-// verifier shard of every size is one harness shard.
+// RunE8FleetAttestation sweeps fleet sizes on the streaming fleet
+// engine, measuring catch rates, appraisal-latency distribution and
+// verifier completion time. Every verifier shard of every size is one
+// harness shard; shard summaries merge in any order to the same row.
 func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Result, error) {
 	rc := newRunCfg(opts)
 	if len(sizes) == 0 {
 		sizes = FleetSizes(false)
 	}
 
-	// Flatten (size, device-range) pairs into one deterministic job
+	// One engine per fleet size, then a flattened (engine, shard) job
 	// list so large fleets load-balance across the pool.
+	engines := make([]*fleet.Engine, len(sizes))
+	for i, n := range sizes {
+		cf, err := E8FleetSpec(n).Compile()
+		if err != nil {
+			return nil, err
+		}
+		engines[i], err = cf.Engine(seed)
+		if err != nil {
+			return nil, err
+		}
+	}
 	type fleetJob struct {
-		size, lo, hi int
+		size  int // index into sizes
+		shard int
 	}
 	var jobs []fleetJob
-	for _, n := range sizes {
-		for lo := 0; lo < n; lo += fleetShardSize {
-			hi := lo + fleetShardSize
-			if hi > n {
-				hi = n
-			}
-			jobs = append(jobs, fleetJob{size: n, lo: lo, hi: hi})
+	for i, eng := range engines {
+		for s := 0; s < eng.NumShards(); s++ {
+			jobs = append(jobs, fleetJob{size: i, shard: s})
 		}
 	}
 
-	outs, err := harness.Map(rc.pool, len(jobs), seed, func(sh harness.Shard) (fleetShardOut, error) {
+	start := time.Now()
+	// The harness derives a per-shard seed, but the fleet engine doesn't
+	// need it: every per-device draw is already a pure function of the
+	// fleet seed and the device's global index, which is what makes the
+	// summaries below mergeable in any order.
+	outs, err := harness.Map(rc.pool, len(jobs), seed, func(sh harness.Shard) (fleet.Summary, error) {
 		j := jobs[sh.Index]
-		return runFleetShard(j.lo, j.hi, sh.Seed)
+		return engines[j.size].RunShard(j.shard)
 	})
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Since(start)
 
-	res := &E8Result{Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"}}
+	res := &E8Result{
+		Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"},
+		Wall:   wall,
+	}
 	job := 0
-	for _, n := range sizes {
-		row := E8Row{Devices: n}
-		for lo := 0; lo < n; lo += fleetShardSize {
-			out := outs[job]
+	for i, n := range sizes {
+		row := E8Row{Devices: n, Shards: engines[i].NumShards()}
+		for s := 0; s < row.Shards; s++ {
+			row.Summary = row.Summary.Merge(outs[job])
 			job++
-			row.Shards++
-			row.Tampered += out.tampered
-			row.Caught += out.caught
-			row.FalseAlarms += out.falseAlarms
-			if out.completion > row.Completion {
-				row.Completion = out.completion
-			}
 		}
-		if n > 0 {
-			row.PerDevice = row.Completion / time.Duration(n)
-		}
+		res.TotalDevices += row.Summary.Devices
 		res.Rows = append(res.Rows, row)
-		res.Series.Add(float64(n), float64(row.Completion.Milliseconds()))
+		res.Series.Add(float64(n), float64(row.Summary.Completion.Milliseconds()))
 	}
 
-	t := report.NewTable("E8 — Fleet attestation sweep (1 in 8 devices tampered; fleets > 512 split across verifier shards)",
-		"Devices", "Shards", "Tampered", "Caught", "False alarms", "Completion (virtual)", "Per device")
+	t := report.NewTable("E8 — Fleet attestation sweep (streaming engine; 1 in 8 devices tampered; memory bounded by batch, not fleet)",
+		"Devices", "Shards", "Batches", "Tampered", "Caught", "False alarms",
+		"Completion (virtual)", "Mean latency", "p50", "p99", "Anomaly sample")
 	for _, r := range res.Rows {
-		t.AddRow(report.I(r.Devices), report.I(r.Shards), report.I(r.Tampered), report.I(r.Caught),
-			report.I(r.FalseAlarms), r.Completion.String(), r.PerDevice.String())
+		s := r.Summary
+		t.AddRow(report.I(r.Devices), report.I(r.Shards), report.I(s.Batches),
+			report.I(s.Tampered), report.I(s.Caught), report.I(s.FalseAlarms),
+			s.Completion.String(), s.MeanLatency().String(),
+			s.Quantile(0.5).String(), s.Quantile(0.99).String(),
+			s.SampleIndices(3))
 	}
 	res.Table = t
 	return res, nil
-}
-
-// runFleetShard builds one verifier shard appraising the devices with
-// global indices [lo, hi) and returns its counts and completion time.
-func runFleetShard(lo, hi int, seed int64) (fleetShardOut, error) {
-	var out fleetShardOut
-	engine := sim.New(seed)
-	net := m2m.NewNetwork(engine, m2m.Config{Latency: 500 * time.Microsecond})
-
-	vkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("verifier"), "v", "", 32))
-	if err != nil {
-		return out, err
-	}
-	vep, err := net.AddNode("verifier", vkey)
-	if err != nil {
-		return out, err
-	}
-	policy := &attest.Policy{
-		AIKs: make(map[string]cryptoutil.PublicKey, hi-lo),
-		AllowedMeasurements: map[cryptoutil.Digest]bool{
-			fleetROM: true, fleetFW: true, fleetPolicy: true,
-		},
-	}
-	verifier := attest.NewVerifier(engine, vep, policy, nil)
-
-	for i := lo; i < hi; i++ {
-		name := fleetDeviceName(i)
-		dkey, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("fleet-dev"), name, "", 32))
-		if err != nil {
-			return out, err
-		}
-		dep, err := net.AddNode(name, dkey)
-		if err != nil {
-			return out, err
-		}
-		dep.Trust("verifier", vep.PublicKey())
-		vep.Trust(name, dep.PublicKey())
-
-		tp, err := tpm.New(cryptoutil.NewDeterministicEntropy([]byte(name)))
-		if err != nil {
-			return out, err
-		}
-		tp.Extend(tpm.PCRBootROM, fleetROM, "rom")
-		if isTamperedIndex(i) { // every 8th device boots an implant
-			tp.Extend(tpm.PCRFirmware, fleetEvil, "???")
-			out.tampered++
-		} else {
-			tp.Extend(tpm.PCRFirmware, fleetFW, "firmware v7")
-		}
-		tp.Extend(tpm.PCRPolicy, fleetPolicy, "policy")
-		attest.NewAttester(tp, dep)
-		policy.AIKs[name] = tp.AIKPublic()
-	}
-
-	start := engine.Now()
-	for i := lo; i < hi; i++ {
-		if err := verifier.Challenge(fleetDeviceName(i)); err != nil {
-			return out, err
-		}
-	}
-	engine.RunFor(time.Duration(hi-lo)*2*time.Millisecond + 100*time.Millisecond)
-	verifier.TimeoutPending()
-
-	var last sim.VirtualTime
-	for _, a := range verifier.Appraisals() {
-		if a.At > last {
-			last = a.At
-		}
-		healthy := !isTamperedName(a.Device)
-		if a.Verdict == attest.VerdictUntrusted {
-			if healthy {
-				out.falseAlarms++
-			} else {
-				out.caught++
-			}
-		}
-	}
-	out.completion = last.Sub(start)
-	return out, nil
-}
-
-// fleetDeviceName names a fleet device by its global index.
-func fleetDeviceName(i int) string { return fmt.Sprintf("device-%03d", i) }
-
-// isTamperedIndex picks the tampered devices: every 8th by global index.
-func isTamperedIndex(i int) bool { return i%8 == 3 }
-
-// isTamperedName classifies an appraised device by parsing its global
-// index back out of its name. The format verb must be %d, not the %03d
-// used for printing: Sscanf treats the 3 as a maximum field width and
-// would silently truncate "device-1234" to index 123, misclassifying
-// every device past the first thousand.
-func isTamperedName(name string) bool {
-	var i int
-	if _, err := fmt.Sscanf(name, "device-%d", &i); err != nil {
-		return false
-	}
-	return isTamperedIndex(i)
 }

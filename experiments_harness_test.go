@@ -37,47 +37,33 @@ func TestE10DeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-// TestE8ShardedFleet crosses the fleetShardSize boundary: a 768-device
-// fleet must split into two verifier shards and still catch every
-// tampered device with no false alarms — including devices whose global
-// index needs more than three digits in larger sweeps (the Sscanf %03d
-// truncation this sweep originally shipped with).
+// TestE8ShardedFleet crosses the verifier-shard boundary: a 5000-device
+// fleet must split into two shards and still catch every tampered
+// device with no false alarms — including devices whose global index
+// needs more than three digits (the Sscanf %03d truncation class this
+// sweep originally shipped with; identity is now the index itself, so
+// no parse exists to truncate).
 func TestE8ShardedFleet(t *testing.T) {
-	res, err := RunE8FleetAttestation([]int{768}, 7, WithParallel(2))
+	res, err := RunE8FleetAttestation([]int{5000}, 7, WithParallel(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	row := res.Rows[0]
 	if row.Shards != 2 {
-		t.Fatalf("768 devices split into %d shards, want 2", row.Shards)
+		t.Fatalf("5000 devices split into %d shards, want 2", row.Shards)
 	}
-	if row.Tampered != 96 {
-		t.Fatalf("tampered = %d, want 96 (1 in 8)", row.Tampered)
+	s := row.Summary
+	if s.Tampered != 625 {
+		t.Fatalf("tampered = %d, want 625 (1 in 8)", s.Tampered)
 	}
-	if row.Caught != row.Tampered {
-		t.Fatalf("caught %d of %d tampered\n%s", row.Caught, row.Tampered, res.Table.Render())
+	if s.Caught != s.Tampered {
+		t.Fatalf("caught %d of %d tampered\n%s", s.Caught, s.Tampered, res.Table.Render())
 	}
-	if row.FalseAlarms != 0 {
-		t.Fatalf("false alarms = %d", row.FalseAlarms)
+	if s.FalseAlarms != 0 {
+		t.Fatalf("false alarms = %d", s.FalseAlarms)
 	}
-	if row.Completion <= 0 {
-		t.Fatalf("completion = %v", row.Completion)
-	}
-}
-
-func TestIsTamperedNameHandlesWideIndices(t *testing.T) {
-	cases := map[string]bool{
-		"device-003":   true,
-		"device-004":   false,
-		"device-1027":  true,  // 1027 % 8 == 3; %03d-truncated parse saw 102
-		"device-1234":  false, // %03d-truncated parse saw 123 (tampered)
-		"device-10243": true,
-		"not-a-device": false,
-	}
-	for name, want := range cases {
-		if got := isTamperedName(name); got != want {
-			t.Errorf("isTamperedName(%q) = %v, want %v", name, got, want)
-		}
+	if s.Completion <= 0 {
+		t.Fatalf("completion = %v", s.Completion)
 	}
 }
 
@@ -87,7 +73,7 @@ func TestFleetSizes(t *testing.T) {
 	if len(quick) >= len(full) {
 		t.Fatal("quick sweep should be smaller than full")
 	}
-	if max := full[len(full)-1]; max < 10_000 {
-		t.Fatalf("full sweep tops out at %d devices, want >= 10k", max)
+	if max := full[len(full)-1]; max != 1<<20 {
+		t.Fatalf("full sweep tops out at %d devices, want 1048576", max)
 	}
 }

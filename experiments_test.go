@@ -159,25 +159,43 @@ func TestE7OnlyHardenedChainSurvives(t *testing.T) {
 }
 
 func TestE8FleetCatchesAllTampered(t *testing.T) {
-	res, err := RunE8FleetAttestation([]int{4, 16, 64}, 7)
+	res, err := RunE8FleetAttestation([]int{4, 64, 512}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range res.Rows {
-		if r.Caught != r.Tampered {
-			t.Errorf("n=%d caught %d of %d tampered", r.Devices, r.Caught, r.Tampered)
+		s := r.Summary
+		if s.Devices != r.Devices {
+			t.Errorf("n=%d summary covers %d devices", r.Devices, s.Devices)
 		}
-		if r.FalseAlarms != 0 {
-			t.Errorf("n=%d false alarms %d", r.Devices, r.FalseAlarms)
+		if s.Caught != s.Tampered {
+			t.Errorf("n=%d caught %d of %d tampered", r.Devices, s.Caught, s.Tampered)
 		}
-		if r.Completion <= 0 {
-			t.Errorf("n=%d completion %v", r.Devices, r.Completion)
+		if s.FalseAlarms != 0 {
+			t.Errorf("n=%d false alarms %d", r.Devices, s.FalseAlarms)
+		}
+		if s.Completion <= 0 {
+			t.Errorf("n=%d completion %v", r.Devices, s.Completion)
+		}
+		if len(s.Sample) == 0 || s.Sample[0].Reason != 1 /* caught */ {
+			t.Errorf("n=%d anomaly sample %v", r.Devices, s.Sample)
+		}
+		// The histogram covers every device exactly once.
+		hist := 0
+		for _, n := range s.Hist {
+			hist += n
+		}
+		if hist != s.Devices {
+			t.Errorf("n=%d histogram counts %d of %d devices", r.Devices, hist, s.Devices)
 		}
 	}
-	// Completion grows with fleet size but sublinearly in this
-	// latency-bound regime (challenges are pipelined).
-	if res.Rows[2].Completion < res.Rows[0].Completion {
+	// Completion grows with fleet size in this streaming regime: more
+	// devices mean more batches draining through the shard's verifier.
+	if res.Rows[2].Summary.Completion < res.Rows[0].Summary.Completion {
 		t.Fatal("completion should not shrink with fleet size")
+	}
+	if res.TotalDevices != 4+64+512 {
+		t.Fatalf("total devices %d", res.TotalDevices)
 	}
 }
 

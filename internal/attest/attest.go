@@ -161,6 +161,15 @@ func (p *Policy) Appraise(device string, q *tpm.Quote, log []tpm.LogEntry, nonce
 	if !ok {
 		return fmt.Errorf("%w: no AIK provisioned for %s", ErrPolicy, device)
 	}
+	return p.AppraiseKey(aik, q, log, nonce)
+}
+
+// AppraiseKey is Appraise with the device's attestation key supplied
+// directly instead of looked up by name — the form used by callers
+// (like the streaming fleet verifier) whose device identity is an
+// index, not a string, and whose key material never enters a name-keyed
+// map.
+func (p *Policy) AppraiseKey(aik cryptoutil.PublicKey, q *tpm.Quote, log []tpm.LogEntry, nonce []byte) error {
 	if err := tpm.VerifyQuote(aik, q, nonce); err != nil {
 		return fmt.Errorf("%w: %w", ErrPolicy, err)
 	}

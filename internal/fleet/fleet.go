@@ -1,0 +1,412 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cres/internal/attest"
+	"cres/internal/cryptoutil"
+	"cres/internal/harness"
+	"cres/internal/tpm"
+)
+
+// Engine-wide defaults.
+const (
+	// DefaultBatchSize is how many devices a shard holds in memory at
+	// once. Fleet memory is O(BatchSize), never O(fleet).
+	DefaultBatchSize = 256
+	// DefaultShardSize is how many devices one verifier shard appraises.
+	// The shard split is a function of fleet size only — never of the
+	// worker pool — so output is identical at any parallelism.
+	DefaultShardSize = 4096
+	// DefaultSampleK is the anomaly-sample capacity per summary.
+	DefaultSampleK = 8
+	// DefaultLatency is the modelled one-way network latency.
+	DefaultLatency = 500 * time.Microsecond
+	// DefaultJitter is the modelled maximum per-device round-trip jitter.
+	DefaultJitter = 200 * time.Microsecond
+	// DefaultDispatch is the verifier's per-challenge dispatch cost.
+	DefaultDispatch = 2 * time.Microsecond
+	// DefaultAppraise is the verifier's per-quote appraisal cost.
+	DefaultAppraise = 10 * time.Microsecond
+)
+
+// Canonical fleet measurements. Healthy devices extend the ROM, their
+// share's firmware and the policy; tampered devices boot the implant
+// instead of their share's firmware.
+var (
+	MeasurementROM     = cryptoutil.Sum([]byte("fleet boot rom"))
+	MeasurementPolicy  = cryptoutil.Sum([]byte("fleet policy v1"))
+	MeasurementImplant = cryptoutil.Sum([]byte("implant"))
+)
+
+// Purpose constants separate the per-index derivation streams: every
+// per-device draw is harness.ShardSeed(ShardSeed(Seed, purpose), index),
+// a pure function of (fleet seed, purpose, global index). Batch and
+// shard boundaries can never reshuffle a device's fate.
+const (
+	purposeMix     = -(iota + 2) // share assignment
+	purposeTamper                // tamper-rate draw
+	purposeJitter                // round-trip jitter
+	purposeNonce                 // challenge nonces (two draws per device)
+	purposeEntropy               // device TPM entropy (two draws per device)
+	purposeSample                // anomaly-sample priority
+)
+
+// Share is one slice of the fleet's device mix.
+type Share struct {
+	// Label names the share (the device spec it came from).
+	Label string
+	// Firmware is the measurement healthy devices of this share extend
+	// into the firmware PCR; it joins the verifier's allowlist.
+	Firmware cryptoutil.Digest
+	// FirmwareDesc is the event-log description of the firmware.
+	FirmwareDesc string
+	// Fraction is the share's device-mix fraction; all fractions must
+	// sum to 1.
+	Fraction float64
+	// TamperRate is the probability a device of this share boots the
+	// implant. Exclusive with Config.TamperEvery.
+	TamperRate float64
+}
+
+// Config describes a fleet run. The zero value of every field except
+// Size and Shares selects a default.
+type Config struct {
+	// Seed is the fleet root seed every per-device draw derives from.
+	Seed int64
+	// Size is the fleet's device count (required).
+	Size int
+	// Shares is the device mix (required, fractions summing to 1).
+	Shares []Share
+	// TamperEvery > 0 selects the deterministic tamper rule: device i is
+	// tampered iff i % TamperEvery == TamperOffset. Exclusive with
+	// per-share TamperRates.
+	TamperEvery int
+	// TamperOffset is the deterministic rule's residue.
+	TamperOffset int
+	// BatchSize bounds shard memory; ShardSize splits the fleet across
+	// parallel verifier shards.
+	BatchSize, ShardSize int
+	// SampleK is the anomaly-sample capacity.
+	SampleK int
+	// Latency, Jitter, Dispatch and Appraise parameterize the virtual-
+	// time model (one-way latency, max RTT jitter, per-challenge
+	// dispatch cost, per-quote appraisal cost).
+	Latency, Jitter, Dispatch, Appraise time.Duration
+}
+
+// normalize validates the config and fills defaults, returning the
+// normalized copy.
+func (c Config) normalize() (Config, error) {
+	if c.Size <= 0 {
+		return c, fmt.Errorf("fleet: size %d, want > 0", c.Size)
+	}
+	if len(c.Shares) == 0 {
+		return c, fmt.Errorf("fleet: no device-mix shares")
+	}
+	sum := 0.0
+	ratey := false
+	for i, sh := range c.Shares {
+		if math.IsNaN(sh.Fraction) || math.IsInf(sh.Fraction, 0) || sh.Fraction <= 0 {
+			return c, fmt.Errorf("fleet: share %d (%s): fraction %v, want finite > 0", i, sh.Label, sh.Fraction)
+		}
+		if math.IsNaN(sh.TamperRate) || math.IsInf(sh.TamperRate, 0) || sh.TamperRate < 0 || sh.TamperRate > 1 {
+			return c, fmt.Errorf("fleet: share %d (%s): tamper rate %v, want in [0, 1]", i, sh.Label, sh.TamperRate)
+		}
+		if sh.Firmware.IsZero() {
+			return c, fmt.Errorf("fleet: share %d (%s): zero firmware measurement", i, sh.Label)
+		}
+		sum += sh.Fraction
+		ratey = ratey || sh.TamperRate > 0
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return c, fmt.Errorf("fleet: device-mix fractions sum to %v, want 1", sum)
+	}
+	if c.TamperEvery < 0 {
+		return c, fmt.Errorf("fleet: tamper-every %d, want >= 0", c.TamperEvery)
+	}
+	if c.TamperEvery > 0 {
+		if ratey {
+			return c, fmt.Errorf("fleet: deterministic tamper-every rule and per-share tamper rates are exclusive")
+		}
+		if c.TamperOffset < 0 || c.TamperOffset >= c.TamperEvery {
+			return c, fmt.Errorf("fleet: tamper offset %d outside [0, %d)", c.TamperOffset, c.TamperEvery)
+		}
+	} else if c.TamperOffset != 0 {
+		return c, fmt.Errorf("fleet: tamper offset %d without a tamper-every rule", c.TamperOffset)
+	}
+	if c.BatchSize < 0 || c.ShardSize < 0 || c.SampleK < 0 {
+		return c, fmt.Errorf("fleet: negative batch/shard/sample size")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.ShardSize == 0 {
+		c.ShardSize = DefaultShardSize
+	}
+	if c.BatchSize > c.ShardSize {
+		return c, fmt.Errorf("fleet: batch size %d exceeds shard size %d", c.BatchSize, c.ShardSize)
+	}
+	if c.SampleK == 0 {
+		c.SampleK = DefaultSampleK
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"latency", c.Latency}, {"jitter", c.Jitter}, {"dispatch", c.Dispatch}, {"appraise", c.Appraise}} {
+		if d.v < 0 {
+			return c, fmt.Errorf("fleet: negative %s %v", d.name, d.v)
+		}
+	}
+	if c.Latency == 0 {
+		c.Latency = DefaultLatency
+	}
+	if c.Jitter == 0 {
+		c.Jitter = DefaultJitter
+	}
+	if c.Dispatch == 0 {
+		c.Dispatch = DefaultDispatch
+	}
+	if c.Appraise == 0 {
+		c.Appraise = DefaultAppraise
+	}
+	return c, nil
+}
+
+// Engine appraises one fleet. It is immutable after New and safe for
+// concurrent RunShard calls — each call owns its scratch.
+type Engine struct {
+	cfg    Config
+	cum    []float64 // cumulative share fractions
+	policy *attest.Policy
+
+	mixRoot, tamperRoot, jitterRoot int64
+	nonceRoot, entropyRoot          int64
+	sampleRoot                      int64
+}
+
+// New validates the config and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		mixRoot:     harness.ShardSeed(cfg.Seed, purposeMix),
+		tamperRoot:  harness.ShardSeed(cfg.Seed, purposeTamper),
+		jitterRoot:  harness.ShardSeed(cfg.Seed, purposeJitter),
+		nonceRoot:   harness.ShardSeed(cfg.Seed, purposeNonce),
+		entropyRoot: harness.ShardSeed(cfg.Seed, purposeEntropy),
+		sampleRoot:  harness.ShardSeed(cfg.Seed, purposeSample),
+	}
+	cum := 0.0
+	for _, sh := range cfg.Shares {
+		cum += sh.Fraction
+		e.cum = append(e.cum, cum)
+	}
+	allowed := map[cryptoutil.Digest]bool{MeasurementROM: true, MeasurementPolicy: true}
+	for _, sh := range cfg.Shares {
+		allowed[sh.Firmware] = true
+	}
+	e.policy = &attest.Policy{AllowedMeasurements: allowed}
+	return e, nil
+}
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NumShards is the fleet's verifier-shard count.
+func (e *Engine) NumShards() int {
+	return (e.cfg.Size + e.cfg.ShardSize - 1) / e.cfg.ShardSize
+}
+
+// ShardRange returns the global device-index range [lo, hi) of a shard.
+func (e *Engine) ShardRange(shard int) (lo, hi int) {
+	lo = shard * e.cfg.ShardSize
+	hi = lo + e.cfg.ShardSize
+	if hi > e.cfg.Size {
+		hi = e.cfg.Size
+	}
+	return lo, hi
+}
+
+// uniform01 maps a ShardSeed draw to [0, 1).
+func uniform01(root int64, index int) float64 {
+	return float64(uint64(harness.ShardSeed(root, index))>>11) / (1 << 53)
+}
+
+// ShareOf returns the mix-share index of a device — a pure function of
+// (fleet seed, device index).
+func (e *Engine) ShareOf(index int) int {
+	if len(e.cum) == 1 {
+		return 0
+	}
+	u := uniform01(e.mixRoot, index)
+	for i, c := range e.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(e.cum) - 1 // rounding guard: cum[last] may be 1-ε
+}
+
+// Tampered reports whether a device boots the implant — a pure function
+// of (fleet seed, device index).
+func (e *Engine) Tampered(index int) bool {
+	if e.cfg.TamperEvery > 0 {
+		return index%e.cfg.TamperEvery == e.cfg.TamperOffset
+	}
+	rate := e.cfg.Shares[e.ShareOf(index)].TamperRate
+	if rate <= 0 {
+		return false
+	}
+	return uniform01(e.tamperRoot, index) < rate
+}
+
+// jitterOf returns a device's round-trip jitter in [0, Jitter].
+func (e *Engine) jitterOf(index int) time.Duration {
+	if e.cfg.Jitter == 0 {
+		return 0
+	}
+	u := uint64(harness.ShardSeed(e.jitterRoot, index))
+	return time.Duration(u % uint64(e.cfg.Jitter+1))
+}
+
+// priorityOf returns a device's anomaly-sample priority.
+func (e *Engine) priorityOf(index int) uint64 {
+	return uint64(harness.ShardSeed(e.sampleRoot, index))
+}
+
+// pending is one in-flight appraisal in a batch's scratch: everything
+// the latency sweep needs, and nothing more.
+type pending struct {
+	arrive   time.Duration
+	dispatch time.Duration
+	index    int
+	reason   uint8
+}
+
+// RunShard streams shard's devices through batches and returns the
+// folded summary. Memory is O(BatchSize): a device's TPM, quote and log
+// die with the loop iteration that appraised them, and only the scratch
+// arrival queue spans a batch.
+//
+// The virtual-time model: a shard is one verifier. It dispatches a
+// batch's challenges back to back (Dispatch apart), each quote returns
+// after a round trip (2×Latency plus the device's jitter), and the
+// verifier appraises quotes serially in arrival order (Appraise each).
+// The next batch's challenges go out when the previous batch drains —
+// the streaming pipeline a bounded-memory verifier actually runs.
+func (e *Engine) RunShard(shard int) (Summary, error) {
+	lo, hi := e.ShardRange(shard)
+	if lo >= hi {
+		return Summary{}, fmt.Errorf("fleet: shard %d outside the fleet's %d shards", shard, e.NumShards())
+	}
+	sum := Summary{SampleK: e.cfg.SampleK}
+	queue := make([]pending, 0, e.cfg.BatchSize)
+	var seedBuf [16]byte
+	var nonce [16]byte
+
+	clock := time.Duration(0)
+	for b := lo; b < hi; b += e.cfg.BatchSize {
+		bHi := b + e.cfg.BatchSize
+		if bHi > hi {
+			bHi = hi
+		}
+		queue = queue[:0]
+		for i := b; i < bHi; i++ {
+			reason, err := e.appraise(i, &seedBuf, &nonce)
+			if err != nil {
+				return Summary{}, err
+			}
+			dispatch := clock + time.Duration(i-b)*e.cfg.Dispatch
+			queue = append(queue, pending{
+				arrive:   dispatch + 2*e.cfg.Latency + e.jitterOf(i),
+				dispatch: dispatch,
+				index:    i,
+				reason:   reason,
+			})
+		}
+		// Serial appraisal in arrival order; ties break by index so the
+		// sweep is deterministic.
+		sort.Slice(queue, func(x, y int) bool {
+			if queue[x].arrive != queue[y].arrive {
+				return queue[x].arrive < queue[y].arrive
+			}
+			return queue[x].index < queue[y].index
+		})
+		free := clock
+		for _, p := range queue {
+			if p.arrive > free {
+				free = p.arrive
+			}
+			free += e.cfg.Appraise
+			sum.observe(p.index, p.reason, free-p.dispatch, e.priorityOf(p.index))
+		}
+		clock = free
+		sum.Batches++
+	}
+	sum.Completion = clock
+	return sum, nil
+}
+
+// appraise runs one device's full attestation — boot measurements into
+// a fresh TPM, nonce challenge, signed quote, verifier appraisal — and
+// returns the outcome code.
+func (e *Engine) appraise(index int, seedBuf, nonce *[16]byte) (uint8, error) {
+	binary.BigEndian.PutUint64(seedBuf[:8], uint64(harness.ShardSeed(e.entropyRoot, 2*index)))
+	binary.BigEndian.PutUint64(seedBuf[8:], uint64(harness.ShardSeed(e.entropyRoot, 2*index+1)))
+	tp, err := tpm.New(cryptoutil.NewDeterministicEntropy(seedBuf[:]))
+	if err != nil {
+		return 0, fmt.Errorf("fleet: device %d: %w", index, err)
+	}
+	share := e.cfg.Shares[e.ShareOf(index)]
+	tampered := e.Tampered(index)
+	tp.Extend(tpm.PCRBootROM, MeasurementROM, "rom")
+	if tampered {
+		tp.Extend(tpm.PCRFirmware, MeasurementImplant, "???")
+	} else {
+		tp.Extend(tpm.PCRFirmware, share.Firmware, share.FirmwareDesc)
+	}
+	tp.Extend(tpm.PCRPolicy, MeasurementPolicy, "policy")
+
+	binary.BigEndian.PutUint64(nonce[:8], uint64(harness.ShardSeed(e.nonceRoot, 2*index)))
+	binary.BigEndian.PutUint64(nonce[8:], uint64(harness.ShardSeed(e.nonceRoot, 2*index+1)))
+	q, err := tp.GenerateQuote(nonce[:], attest.PCRSelection)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: device %d: quote: %w", index, err)
+	}
+	untrusted := e.policy.AppraiseKey(tp.AIKPublic(), q, tp.EventLog(), nonce[:]) != nil
+	switch {
+	case tampered && untrusted:
+		return ReasonCaught, nil
+	case tampered:
+		return ReasonMissed, nil
+	case untrusted:
+		return ReasonFalseAlarm, nil
+	default:
+		return ReasonHealthy, nil
+	}
+}
+
+// Run appraises the whole fleet serially — the single-machine
+// convenience path; experiment drivers fan RunShard across a harness
+// pool instead. The result is identical either way: summaries merge
+// associatively and every per-device quantity derives from (seed,
+// index) alone.
+func (e *Engine) Run() (Summary, error) {
+	var sum Summary
+	for s := 0; s < e.NumShards(); s++ {
+		out, err := e.RunShard(s)
+		if err != nil {
+			return Summary{}, err
+		}
+		sum = sum.Merge(out)
+	}
+	return sum, nil
+}

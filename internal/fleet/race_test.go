@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cres/internal/harness"
+)
+
+// TestEngineSharedAcrossPoolRace gives the race detector something to
+// bite on: one immutable Engine fanned across a contended pool, every
+// worker reading the shared config, policy and derivation roots while
+// hammering its own scratch. Any hidden mutable state in the engine
+// shows up here under -race.
+func TestEngineSharedAcrossPoolRace(t *testing.T) {
+	cfg := refConfig(2048)
+	cfg.BatchSize, cfg.ShardSize = 64, 128 // 16 shards over 8 workers
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := harness.NewPool(8)
+
+	// Several concurrent Maps over the same engine, as overlapping
+	// experiment runs would do.
+	var wg sync.WaitGroup
+	sums := make([]Summary, 3)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs, err := harness.Map(pool, eng.NumShards(), 7, func(sh harness.Shard) (Summary, error) {
+				return eng.RunShard(sh.Index)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var sum Summary
+			for _, out := range outs {
+				sum = sum.Merge(out)
+			}
+			sums[g] = sum
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 3; g++ {
+		if sums[g].Caught != sums[0].Caught || sums[g].Devices != sums[0].Devices {
+			t.Fatalf("concurrent runs disagree: %+v vs %+v", sums[g], sums[0])
+		}
+	}
+}
+
+// TestEngineEarlyErrorUnderContention injects an immediate failure into
+// one shard while the rest stream devices: Map must keep running every
+// shard to completion, return the injected error, and leave no torn
+// state behind for the race detector to flag.
+func TestEngineEarlyErrorUnderContention(t *testing.T) {
+	cfg := refConfig(1024)
+	cfg.BatchSize, cfg.ShardSize = 32, 64 // 16 shards
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected shard failure")
+	pool := harness.NewPool(8)
+	for trial := 0; trial < 5; trial++ {
+		_, err := harness.Map(pool, eng.NumShards(), 7, func(sh harness.Shard) (Summary, error) {
+			if sh.Index == 3 {
+				return Summary{}, boom
+			}
+			return eng.RunShard(sh.Index)
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("trial %d: error = %v, want injected failure", trial, err)
+		}
+	}
+}

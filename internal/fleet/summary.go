@@ -1,0 +1,288 @@
+// Package fleet is the streaming fleet-attestation engine: it appraises
+// fleets of millions of simulated devices in memory bounded by a batch,
+// never a fleet. A fleet is split into verifier shards (the distributed
+// verifier tier an operator deploys); each shard streams its devices
+// through fixed-size batches and folds every appraisal into a mergeable
+// Summary the moment it concludes — no per-device record survives the
+// batch that produced it.
+//
+// Everything a device is — its mix share, its firmware measurement,
+// whether it is tampered, its network jitter, its challenge nonce, its
+// anomaly-sample priority — is a pure function of (fleet seed, global
+// device index) through harness.ShardSeed. Shard and batch boundaries
+// therefore never change any device's fate, Summary.Merge is associative
+// and commutative, and fleet tables are byte-identical at any
+// parallelism.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// LatencyBuckets are the fixed upper bounds of the appraisal-latency
+// histogram, in ascending order. Latencies above the last bound land in
+// the overflow bucket. The bounds are package constants — never derived
+// from data — so histograms from any two shards are mergeable by
+// element-wise addition.
+var LatencyBuckets = [...]time.Duration{
+	1 * time.Millisecond,
+	1500 * time.Microsecond,
+	2 * time.Millisecond,
+	2500 * time.Microsecond,
+	3 * time.Millisecond,
+	4 * time.Millisecond,
+	6 * time.Millisecond,
+	10 * time.Millisecond,
+}
+
+// NumBuckets is the histogram length: one counter per bound plus the
+// overflow bucket.
+const NumBuckets = len(LatencyBuckets) + 1
+
+// Device-outcome reasons. Healthy+trusted is the only non-anomalous one.
+const (
+	ReasonHealthy    uint8 = iota // healthy device appraised trusted
+	ReasonCaught                  // tampered device appraised untrusted
+	ReasonFalseAlarm              // healthy device appraised untrusted
+	ReasonMissed                  // tampered device appraised trusted
+)
+
+// reasonNames indexes the reason codes.
+var reasonNames = [...]string{"healthy", "caught", "false-alarm", "missed"}
+
+// ReasonString names a device-outcome reason code.
+func ReasonString(r uint8) string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", r)
+}
+
+// Anomaly is one sampled anomalous device — any device whose appraisal
+// outcome was not healthy+trusted.
+type Anomaly struct {
+	// Index is the device's global fleet index — its identity. The fleet
+	// engine never names devices; an operator resolves an index to a
+	// share and tamper verdict through the Engine's pure per-index
+	// functions.
+	Index int
+	// Reason is the outcome code (ReasonCaught, ReasonFalseAlarm, ...).
+	Reason uint8
+	// Latency is the device's challenge-to-appraisal latency.
+	Latency time.Duration
+	// Priority orders the bottom-K sample: harness.ShardSeed(sample
+	// seed, Index), so the K survivors are a pure function of the fleet
+	// seed and the anomaly set — not of merge order.
+	Priority uint64
+}
+
+// Summary is one shard's (or any merged union's) fleet statistics. It is
+// fixed-size except for the bounded anomaly sample, and two Summaries
+// over disjoint device sets merge without loss: counts and histograms
+// add, completions take the maximum (shards verify in parallel), and
+// the bottom-K samples combine into the union's bottom K.
+type Summary struct {
+	// Devices is the number of devices appraised.
+	Devices int
+	// Tampered is how many of them were tampered.
+	Tampered int
+	// Caught is how many tampered devices were appraised untrusted.
+	Caught int
+	// FalseAlarms is how many healthy devices were appraised untrusted.
+	FalseAlarms int
+	// Batches is the number of device batches streamed.
+	Batches int
+	// Completion is the virtual time from the shard's first challenge
+	// dispatch to its last appraisal; across merged shards, the slowest
+	// shard (shards verify in parallel).
+	Completion time.Duration
+	// LatencySum accumulates per-device appraisal latency (for means).
+	LatencySum time.Duration
+	// MaxLatency is the slowest single appraisal.
+	MaxLatency time.Duration
+	// Hist counts appraisal latencies into LatencyBuckets; the last
+	// element is the overflow bucket.
+	Hist [NumBuckets]int
+	// SampleK is the sample capacity; Merge keeps the larger capacity of
+	// its operands.
+	SampleK int
+	// Sample is the bottom-SampleK anomalous devices by (Priority,
+	// Index), ascending — a deterministic reservoir over every anomaly
+	// the summary covers.
+	Sample []Anomaly
+}
+
+// bucketOf returns the histogram bucket index for a latency.
+func bucketOf(d time.Duration) int {
+	for i, b := range LatencyBuckets {
+		if d <= b {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// observe folds one appraised device into the summary. latency is the
+// device's dispatch-to-appraisal time; priority is its sample priority
+// (used only when the outcome is anomalous).
+func (s *Summary) observe(index int, reason uint8, latency time.Duration, priority uint64) {
+	s.Devices++
+	if reason == ReasonCaught || reason == ReasonMissed {
+		s.Tampered++
+	}
+	switch reason {
+	case ReasonCaught:
+		s.Caught++
+	case ReasonFalseAlarm:
+		s.FalseAlarms++
+	}
+	s.LatencySum += latency
+	if latency > s.MaxLatency {
+		s.MaxLatency = latency
+	}
+	s.Hist[bucketOf(latency)]++
+	if reason != ReasonHealthy {
+		s.admit(Anomaly{Index: index, Reason: reason, Latency: latency, Priority: priority})
+	}
+}
+
+// admit inserts an anomaly into the bottom-K sample if it qualifies,
+// keeping the sample sorted by (Priority, Index).
+func (s *Summary) admit(a Anomaly) {
+	if s.SampleK <= 0 {
+		return
+	}
+	pos := len(s.Sample)
+	for pos > 0 && less(a, s.Sample[pos-1]) {
+		pos--
+	}
+	if pos == s.SampleK {
+		return // worse than every survivor of a full sample
+	}
+	if len(s.Sample) < s.SampleK {
+		s.Sample = append(s.Sample, Anomaly{})
+	}
+	copy(s.Sample[pos+1:], s.Sample[pos:])
+	s.Sample[pos] = a
+}
+
+// less orders anomalies by (Priority, Index).
+func less(a, b Anomaly) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.Index < b.Index
+}
+
+// Merge returns the union of two summaries over disjoint device sets.
+// It is associative and commutative — the algebra that lets shard
+// results combine in any order (or on different machines) and still
+// produce identical fleet statistics — and the zero Summary is its
+// identity.
+func (s Summary) Merge(o Summary) Summary {
+	out := s
+	out.Devices += o.Devices
+	out.Tampered += o.Tampered
+	out.Caught += o.Caught
+	out.FalseAlarms += o.FalseAlarms
+	out.Batches += o.Batches
+	if o.Completion > out.Completion {
+		out.Completion = o.Completion
+	}
+	out.LatencySum += o.LatencySum
+	if o.MaxLatency > out.MaxLatency {
+		out.MaxLatency = o.MaxLatency
+	}
+	for i := range out.Hist {
+		out.Hist[i] += o.Hist[i]
+	}
+	if o.SampleK > out.SampleK {
+		out.SampleK = o.SampleK
+	}
+	// Bottom-K of a multiset union: merge the two sorted samples and
+	// keep the K smallest. Associative and commutative because bottom-K
+	// is, whatever grouping produced the operands.
+	if len(o.Sample) > 0 {
+		merged := make([]Anomaly, 0, len(s.Sample)+len(o.Sample))
+		i, j := 0, 0
+		for i < len(s.Sample) && j < len(o.Sample) {
+			if less(s.Sample[i], o.Sample[j]) {
+				merged = append(merged, s.Sample[i])
+				i++
+			} else {
+				merged = append(merged, o.Sample[j])
+				j++
+			}
+		}
+		merged = append(merged, s.Sample[i:]...)
+		merged = append(merged, o.Sample[j:]...)
+		if len(merged) > out.SampleK {
+			merged = merged[:out.SampleK]
+		}
+		out.Sample = merged
+	}
+	return out
+}
+
+// MeanLatency is the mean per-device appraisal latency.
+func (s Summary) MeanLatency() time.Duration {
+	if s.Devices == 0 {
+		return 0
+	}
+	return s.LatencySum / time.Duration(s.Devices)
+}
+
+// Quantile returns an upper bound on the q-quantile appraisal latency
+// from the fixed-bucket histogram: the bound of the first bucket whose
+// cumulative count reaches q of the population (MaxLatency for the
+// overflow bucket). Deterministic, mergeable, and O(1) memory — the
+// trade the streaming engine makes against exact order statistics.
+func (s Summary) Quantile(q float64) time.Duration {
+	if s.Devices == 0 {
+		return 0
+	}
+	need := int(math.Ceil(q * float64(s.Devices)))
+	if need < 1 {
+		need = 1
+	}
+	if need > s.Devices {
+		need = s.Devices
+	}
+	cum := 0
+	for i, n := range s.Hist {
+		cum += n
+		if cum >= need {
+			if i < len(LatencyBuckets) {
+				return LatencyBuckets[i]
+			}
+			return s.MaxLatency
+		}
+	}
+	return s.MaxLatency
+}
+
+// SampleIndices renders the sampled anomaly indices, at most max of
+// them, as "3,11,19 (+5 more)" — the compact table-cell form.
+func (s Summary) SampleIndices(max int) string {
+	if len(s.Sample) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	n := len(s.Sample)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s.Sample[i].Index)
+	}
+	if rest := len(s.Sample) - n; rest > 0 {
+		fmt.Fprintf(&b, " (+%d more)", rest)
+	}
+	return b.String()
+}

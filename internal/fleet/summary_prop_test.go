@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// These are the property tests behind the mergeable-summary design:
+// Merge must be associative and commutative with the zero Summary as
+// identity, so shard results can combine in any order — across
+// goroutines today, across machines in a distributed verifier tier —
+// and produce identical fleet statistics.
+
+// randomSummary builds an arbitrary (but structurally valid) summary:
+// sorted bottom-K sample, counts consistent enough to merge.
+func randomSummary(rng *rand.Rand) Summary {
+	s := Summary{
+		Devices:    rng.Intn(10_000),
+		Batches:    1 + rng.Intn(64),
+		Completion: time.Duration(rng.Intn(1_000_000)),
+		LatencySum: time.Duration(rng.Intn(1_000_000_000)),
+		MaxLatency: time.Duration(rng.Intn(10_000_000)),
+		SampleK:    DefaultSampleK,
+	}
+	s.Tampered = rng.Intn(s.Devices + 1)
+	s.Caught = rng.Intn(s.Tampered + 1)
+	s.FalseAlarms = rng.Intn(s.Devices - s.Tampered + 1)
+	for i := range s.Hist {
+		s.Hist[i] = rng.Intn(1000)
+	}
+	for i, n := 0, rng.Intn(2*DefaultSampleK); i < n; i++ {
+		s.admit(Anomaly{
+			Index:    rng.Intn(1 << 20),
+			Reason:   uint8(1 + rng.Intn(3)),
+			Latency:  time.Duration(rng.Intn(5_000_000)),
+			Priority: rng.Uint64(),
+		})
+	}
+	return s
+}
+
+func TestMergeZeroIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		s := randomSummary(rng)
+		if got := s.Merge(Summary{}); !reflect.DeepEqual(got, s) {
+			t.Fatalf("s.Merge(zero) != s:\n%+v\nvs\n%+v", got, s)
+		}
+		got := (Summary{}).Merge(s)
+		// Merging into the zero summary adopts s's sample by merging into
+		// an empty one; the result must still equal s.
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("zero.Merge(s) != s:\n%+v\nvs\n%+v", got, s)
+		}
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b := randomSummary(rng), randomSummary(rng)
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("a.Merge(b) != b.Merge(a):\n%+v\nvs\n%+v", ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b, c := randomSummary(rng), randomSummary(rng), randomSummary(rng)
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("(a·b)·c != a·(b·c):\n%+v\nvs\n%+v", left, right)
+		}
+	}
+}
+
+// TestMergeOrderIndependentOnRealShards is the satellite property the
+// experiment relies on: folding a real fleet's shard summaries in any
+// permutation — and under any parenthesization — yields the identical
+// fleet summary.
+func TestMergeOrderIndependentOnRealShards(t *testing.T) {
+	cfg := refConfig(3000)
+	cfg.ShardSize = 256 // 12 shards
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]Summary, eng.NumShards())
+	for i := range shards {
+		if shards[i], err = eng.RunShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fold := func(order []int) Summary {
+		var sum Summary
+		for _, i := range order {
+			sum = sum.Merge(shards[i])
+		}
+		return sum
+	}
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	want := fold(order)
+	if want.Devices != 3000 {
+		t.Fatalf("merged summary covers %d devices", want.Devices)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if got := fold(order); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shuffled fold %v differs:\n%+v\nvs\n%+v", order, got, want)
+		}
+	}
+	// Tree-shaped fold (pairwise reduction), as a distributed merge
+	// would do it.
+	level := append([]Summary(nil), shards...)
+	for len(level) > 1 {
+		var next []Summary
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, level[i].Merge(level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	if !reflect.DeepEqual(level[0], want) {
+		t.Fatalf("tree fold differs:\n%+v\nvs\n%+v", level[0], want)
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Stress tests for the worker pool, written to give `go test -race`
+// (a dedicated CI job) real contention to chew on: many shards
+// hammering shared state through a small pool, and shards failing
+// early while the rest keep producing results.
+
+// TestMapStressContendedSharedState runs far more shards than workers,
+// every shard bumping shared atomics and a mutex-guarded map while
+// also writing its own result slot. The assertions pin what Map
+// promises under that contention: every shard runs exactly once, and
+// results land in shard order.
+func TestMapStressContendedSharedState(t *testing.T) {
+	const shards = 512
+	var ran atomic.Int64
+	var mu sync.Mutex
+	seen := make(map[int]int64, shards)
+
+	pool := NewPool(8)
+	outs, err := Map(pool, shards, 7, func(sh Shard) (int, error) {
+		ran.Add(1)
+		mu.Lock()
+		seen[sh.Index] = sh.Seed
+		mu.Unlock()
+		return sh.Index * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != shards {
+		t.Fatalf("ran %d shards, want %d", ran.Load(), shards)
+	}
+	for i, v := range outs {
+		if v != i*3 {
+			t.Fatalf("outs[%d] = %d: results out of shard order", i, v)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if seen[i] != ShardSeed(7, i) {
+			t.Fatalf("shard %d saw seed %d, want ShardSeed(7, %d)", i, seen[i], i)
+		}
+	}
+}
+
+// TestMapEarlyErrorKeepsPoolConsistent fails a low-indexed shard
+// immediately, on every trial, while hundreds of others are mid-flight
+// writing shared state. Map's contract under failure: every shard
+// still runs (no cancellation tears the fan-out), and the returned
+// error is the lowest-indexed failure whatever the interleaving.
+func TestMapEarlyErrorKeepsPoolConsistent(t *testing.T) {
+	boom3 := errors.New("shard 3 failed")
+	boom9 := errors.New("shard 9 failed")
+	pool := NewPool(8)
+	for trial := 0; trial < 20; trial++ {
+		var ran atomic.Int64
+		_, err := Map(pool, 256, 7, func(sh Shard) (struct{}, error) {
+			ran.Add(1)
+			switch sh.Index {
+			case 3:
+				return struct{}{}, boom3
+			case 9:
+				return struct{}{}, boom9
+			}
+			return struct{}{}, nil
+		})
+		if !errors.Is(err, boom3) {
+			t.Fatalf("trial %d: error = %v, want the lowest-indexed failure", trial, err)
+		}
+		if ran.Load() != 256 {
+			t.Fatalf("trial %d: early error stopped the fan-out at %d of 256 shards", trial, ran.Load())
+		}
+	}
+}

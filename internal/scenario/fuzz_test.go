@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Native go-fuzz targets for the declarative layer's two parser/
+// validator surfaces: the "scenario@delay*N" stage syntax that reaches
+// ParsePlans straight from the -plan CLI flag, and the spec Compile
+// functions that turn arbitrary field values into runnable
+// configurations. The contract under fuzzing is uniform: hostile input
+// may be rejected with an error, but must never panic, and anything
+// Compile accepts must satisfy the compiled invariants (delays within
+// the horizon, defaults filled, fractions sane).
+//
+// Seed corpora live under testdata/fuzz/<Target>/; CI runs each target
+// for a 30s smoke (see .github/workflows/ci.yml), and
+// `go test -fuzz FuzzPlanStageSyntax ./internal/scenario` digs deeper
+// locally. New crashers are written to testdata/fuzz automatically —
+// commit them as regression seeds after fixing.
+
+func FuzzPlanStageSyntax(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"implant-persist",
+		"recon-exfil-wipe,network-takeover",
+		"secure-probe@0,log-wipe@10ms*3",
+		"code-injection@5ms,bus-flood@12ms",
+		"firmware-tamper@1h",            // at the horizon boundary
+		"log-wipe@10ms*9223372036854",   // repeat × gap overflow
+		"bus-flood@-5ms",                // negative delay
+		"m2m-mitm@3ms*-2",               // negative repeat
+		"@5ms",                          // no scenario name
+		"secure-probe@",                 // empty delay
+		"secure-probe@0*",               // empty repeat
+		"secure-probe@0*x",              // junk repeat
+		"secure-probe@5mss",             // junk duration
+		" , ,, ",                        // separators only
+		"a@1ns*1,b@2ns*2,c@3ns*3,d@4ns", // unknown scenarios
+		"secure-probe@106751d",          // duration overflow territory
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// The full CLI path first: -plan values route through ParsePlans,
+		// which dispatches between built-in names and stage syntax.
+		if plans, err := ParsePlans(s); err == nil {
+			for _, p := range plans {
+				compileAndCheckPlan(t, s, p)
+			}
+		}
+		// And the stage-syntax parser directly, so inputs without an "@"
+		// still exercise it.
+		plan, err := ParsePlanStages("fuzz", s)
+		if err != nil {
+			return
+		}
+		if len(plan.Stages) == 0 {
+			t.Fatalf("ParsePlanStages(%q) returned a plan with no stages and no error", s)
+		}
+		compileAndCheckPlan(t, s, plan)
+	})
+}
+
+// compileAndCheckPlan compiles a parsed plan and checks the compiled
+// invariants. Compile errors are fine (unknown scenarios, bad
+// schedules); inconsistent successes are not.
+func compileAndCheckPlan(t *testing.T, input string, p AttackPlan) {
+	t.Helper()
+	cp, err := p.Compile()
+	if err != nil {
+		return
+	}
+	if h := cp.Horizon(); h < 0 || h > MaxPlanHorizon {
+		t.Fatalf("input %q: compiled plan %q has horizon %v outside [0, %v]", input, p.Name, h, MaxPlanHorizon)
+	}
+	for i, st := range cp.Plan.Stages {
+		if st.Delay < 0 {
+			t.Fatalf("input %q: compiled stage %d has negative delay %v", input, i, st.Delay)
+		}
+	}
+	if cp.Scenario() == nil {
+		t.Fatalf("input %q: compiled plan %q has no launchable scenario", input, p.Name)
+	}
+}
+
+func FuzzScenarioCompile(f *testing.F) {
+	add := func(name, arch, detection, monitors string, fwVersion uint64, mw, op, size int64, fracA, rateA float64, every int) {
+		f.Add(name, arch, detection, monitors, fwVersion, mw, op, size, fracA, rateA, every)
+	}
+	add("dut", "cres", "combined", "", 1, 0, 0, 512, 0.5, 0, 8)
+	add("dut", "baseline", "signature-only", "bus,cfi", 2, int64(time.Millisecond), int64(time.Millisecond), 4096, 0.25, 0.5, 0)
+	add("", "tofu", "anomaly-only", "bus,bus", 0, -1, 5, 0, 0.75, 1, -3)
+	add("x", "", "", "net,timing,env", 9, 1<<62, 1, 1, 1, 0.001, 1)
+	add("nan", "cres", "", "", 1, 0, 0, 100, 0.0, -1, 0)       // fraction sums to 0.5
+	add("inf", "cres", "", "", 1, 0, 0, 100, 1e308, 2, 0)      // non-finite sums
+	add("tiny", "cres", "", "", 1, 1, 1, 1, 0.5000001, 0.5, 0) // off-by-epsilon fractions
+	f.Fuzz(func(t *testing.T, name, arch, detection, monitors string, fwVersion uint64, mw, op, size int64, fracA, rateA float64, every int) {
+		spec := DeviceSpec{
+			Name:              name,
+			Arch:              arch,
+			Detection:         detection,
+			FirmwareVersion:   fwVersion,
+			MonitorWindow:     time.Duration(mw),
+			ObservationPeriod: time.Duration(op),
+		}
+		if monitors != "" {
+			spec.Monitors = strings.Split(monitors, ",")
+		}
+		cd, err := spec.Compile()
+		if err == nil {
+			// Compiled devices have every defaultable field filled.
+			if cd.Spec.Arch != ArchCRES && cd.Spec.Arch != ArchBaseline {
+				t.Fatalf("compiled device has arch %q", cd.Spec.Arch)
+			}
+			if cd.Spec.MonitorWindow <= 0 || cd.Spec.ObservationPeriod <= 0 {
+				t.Fatalf("compiled device has unfilled windows: %+v", cd.Spec)
+			}
+			if cd.Spec.FirmwarePayload == nil || cd.Spec.CFG == nil || cd.Spec.Services == nil {
+				t.Fatalf("compiled device has unfilled defaults: %+v", cd.Spec)
+			}
+		}
+
+		// The fleet spec reuses the device spec and adds float fractions
+		// and rates — the classic NaN/Inf validation trap.
+		fs := FleetSpec{
+			Name: name,
+			Size: int(size),
+			Shares: []FleetShare{
+				{Device: DeviceSpec{Name: "a"}, Fraction: fracA, TamperRate: rateA},
+				{Device: spec, Fraction: 1 - fracA},
+			},
+			TamperEvery: every,
+		}
+		cf, err := fs.Compile()
+		if err != nil {
+			return
+		}
+		if cf.Config.Size != int(size) || len(cf.Config.Shares) != 2 {
+			t.Fatalf("compiled fleet diverges from spec: %+v", cf.Config)
+		}
+		if cf.Config.BatchSize <= 0 || cf.Config.ShardSize < cf.Config.BatchSize || cf.Config.SampleK <= 0 {
+			t.Fatalf("compiled fleet has unfilled defaults: %+v", cf.Config)
+		}
+		// A compiled fleet must be runnable: the engine accepts it and
+		// classifies any index without panicking.
+		eng, err := cf.Engine(7)
+		if err != nil {
+			t.Fatalf("compiled fleet rejected by engine: %v", err)
+		}
+		for _, i := range []int{0, cf.Config.Size - 1} {
+			if s := eng.ShareOf(i); s < 0 || s >= 2 {
+				t.Fatalf("device %d assigned to share %d", i, s)
+			}
+			eng.Tampered(i)
+		}
+	})
+}
