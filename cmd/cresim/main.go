@@ -12,6 +12,13 @@
 // fleet on the fleet engine and print the merged summary plus the
 // sampled anomalous devices.
 //
+// The -topology mode runs a worm over a wired fleet — one E13 cell,
+// interactively: patient zero is compromised, the worm's payload
+// schedules itself on each neighbour after -dwell, and the fleet
+// answers according to -mode (baseline, cres-isolated or cres-coop).
+// The full event timeline is printed: infections, gossip-triggered
+// link quarantines, and the propagation attempts they blocked.
+//
 // Usage:
 //
 //	cresim -list
@@ -22,12 +29,14 @@
 //	cresim -all
 //	cresim -campaign [-plan implant-persist] [-shards 3] [-parallel N] [-seed 7]
 //	cresim -fleet 4096 [-parallel N] [-seed 7]
+//	cresim -topology ring:10 [-dwell 2ms] [-mode cres-coop] [-worm secure-probe]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +59,10 @@ type options struct {
 	fleet    int
 	shards   int
 	parallel int
+	topology string
+	dwell    time.Duration
+	mode     string
+	worm     string
 }
 
 func main() {
@@ -64,6 +77,10 @@ func main() {
 	flag.IntVar(&o.fleet, "fleet", 0, "attest an N-device fleet on the streaming engine (smoke mode)")
 	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
 	flag.IntVar(&o.parallel, "parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.topology, "topology", "", `worm-over-fleet mode: "kind[:size[:fanout]]" (ring, star, mesh, random)`)
+	flag.DurationVar(&o.dwell, "dwell", 2*time.Millisecond, "worm infection-to-propagation delay (topology mode)")
+	flag.StringVar(&o.mode, "mode", "cres-coop", "fleet response mode: baseline, cres-isolated or cres-coop (topology mode)")
+	flag.StringVar(&o.worm, "worm", "secure-probe", "worm payload scenario (topology mode; see -list)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -86,6 +103,10 @@ func run(o options) error {
 
 	if o.fleet > 0 {
 		return runFleet(o)
+	}
+
+	if o.topology != "" {
+		return runSwarm(o)
 	}
 
 	if o.campaign {
@@ -166,6 +187,53 @@ func selectAttacks(o options) ([]attack.Scenario, error) {
 		return nil, fmt.Errorf("nothing to run: give -scenario, -plan or -all (use -list)")
 	}
 	return attacks, nil
+}
+
+// parseTopology parses the -topology value: "kind", "kind:size" or
+// "kind:size:fanout".
+func parseTopology(s string) (scenario.TopologySpec, error) {
+	parts := strings.Split(s, ":")
+	spec := scenario.TopologySpec{Kind: strings.TrimSpace(parts[0]), Size: 10}
+	var err error
+	if len(parts) > 1 {
+		if spec.Size, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+			return spec, fmt.Errorf("-topology size %q: %v", parts[1], err)
+		}
+	}
+	if len(parts) > 2 {
+		if spec.Fanout, err = strconv.Atoi(strings.TrimSpace(parts[2])); err != nil {
+			return spec, fmt.Errorf("-topology fanout %q: %v", parts[2], err)
+		}
+	}
+	if len(parts) > 3 {
+		return spec, fmt.Errorf("-topology %q: want kind[:size[:fanout]]", s)
+	}
+	return spec, nil
+}
+
+// runSwarm is the worm-over-fleet mode: one topology, one dwell, one
+// response mode, with the full event timeline printed — the
+// interactive view of one E13 cell.
+func runSwarm(o options) error {
+	spec, err := parseTopology(o.topology)
+	if err != nil {
+		return err
+	}
+	spec.Seed = o.seed
+	out, err := cres.RunSwarm(spec, o.dwell, o.mode, o.worm, o.seed)
+	if err != nil {
+		return err
+	}
+	c := out.Cell
+	fmt.Printf("=== %q worm over %s fleet (%d devices, dwell %v, mode %s) ===\n\n",
+		o.worm, c.Topology, spec.Size, c.Dwell, c.Mode)
+	for _, ev := range out.Events {
+		fmt.Printf("  %12v  %-10s %s\n", ev.At, ev.Kind, ev.Detail)
+	}
+	fmt.Printf("\ninfected: %d/%d (saved %d)  blocked hops: %d  links cut: %d\n",
+		c.Infected, spec.Size, c.Saved, c.Blocked, c.LinksCut)
+	fmt.Printf("containment after %v; %d devices informed by gossip\n", c.Containment, c.Informed)
+	return nil
 }
 
 // runFleet is the streaming-fleet smoke: a mixed fleet (three quarters

@@ -1,26 +1,3 @@
-// Package cres is the public API of the Cyber Resilient Embedded System
-// reference implementation — a Go reproduction of Siddiqui, Hagan &
-// Sezer, "Establishing Cyber Resilience in Embedded Systems for Securing
-// Next-Generation Critical Infrastructure" (IEEE SOCC 2019).
-//
-// A Device assembles the full platform on a deterministic simulator: the
-// SoC hardware model, TPM root of trust, secure+measured boot chain, TEE,
-// bus-level security policy and — in the CRES architecture — the paper's
-// three proposed microarchitectural characteristics: the Active Runtime
-// Resource Monitors, the physically isolated System Security Manager, and
-// the Active Response Manager with graceful degradation. The Baseline
-// architecture assembles the same platform WITHOUT those three, matching
-// the passive trust-only posture the paper critiques.
-//
-// Typical use:
-//
-//	dev, err := cres.NewDevice("substation-7", cres.WithSeed(42))
-//	...
-//	rep, err := dev.Boot()
-//	dev.RunFor(50 * time.Millisecond)
-//	err = cres.Launch(dev, attack.CodeInjection{})
-//	dev.RunFor(50 * time.Millisecond)
-//	fmt.Println(dev.ForensicReport(0, dev.Now()).Render())
 package cres
 
 import (
@@ -232,6 +209,9 @@ type Device struct {
 
 	spec       *scenario.CompiledDevice
 	bootReport *boot.Report
+	// gossipPeers are the cooperative-response neighbours, set by
+	// EnableCooperation (coop.go).
+	gossipPeers []string
 }
 
 // NewDevice assembles a device from functional options over the
@@ -393,6 +373,7 @@ func (d *Device) buildSSM() error {
 	d.SSM, err = core.New(d.Engine, core.Config{
 		ObservationPeriod: obs,
 		AnchorPeriod:      10 * obs,
+		DeviceName:        d.Name,
 	}, ssmKey, nil)
 	if err != nil {
 		return fmt.Errorf("cres: %w", err)

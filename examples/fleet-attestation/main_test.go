@@ -1,0 +1,29 @@
+package main
+
+// Example replays the example's run() and pins its COMPLETE output.
+// This is the anti-rot gate for runnable documentation: if an API or
+// behaviour change shifts what this program prints, 'go test
+// ./examples/...' fails with a readable diff instead of the README
+// silently lying. The output is all virtual-time quantities, so it is
+// stable across hosts, Go releases and -parallel settings.
+func Example() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// challenging 12 devices...
+	//   device-0     trusted    quote verified; all measurements known good
+	//   device-1     trusted    quote verified; all measurements known good
+	//   device-2     trusted    quote verified; all measurements known good
+	//   device-3     untrusted  attest: policy violation: unknown measurement e5edc088 (firmware (tampered)) in PCR 2
+	//   device-4     trusted    quote verified; all measurements known good
+	//   device-5     trusted    quote verified; all measurements known good
+	//   device-6     trusted    quote verified; all measurements known good
+	//   device-8     trusted    quote verified; all measurements known good
+	//   device-9     trusted    quote verified; all measurements known good
+	//   device-10    trusted    quote verified; all measurements known good
+	//   device-11    trusted    quote verified; all measurements known good
+	//   device-7     timeout    no quote before deadline
+	//
+	// fleet sweep complete in 100ms (virtual): 10 trusted, 1 untrusted, 1 timeout
+}

@@ -1,0 +1,41 @@
+package main
+
+// Example replays the example's run() and pins its COMPLETE output.
+// This is the anti-rot gate for runnable documentation: if an API or
+// behaviour change shifts what this program prints, 'go test
+// ./examples/...' fails with a readable diff instead of the README
+// silently lying. The output is all virtual-time quantities, so it is
+// stable across hosts, Go releases and -parallel settings.
+func Example() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// booted firmware v1 from slot A (healthy=true)
+	// after 20ms healthy run: state=healthy, alerts=0
+	//
+	// injection detected 20µs after launch
+	// state=degraded, app core halted=true, isolated=[app-core]
+	// services: 2/4 up, critical up: 1 (graceful degradation)
+	//
+	// after recovery: state=healthy, services up=map[local-hmi:true protection-relay:true remote-management:true telemetry:true]
+	//
+	// breach reconstruction 20ms .. 35ms
+	//   chain intact: true
+	//   anchors valid: 3/3
+	//   records: 64 observations, 1 alerts, 5 responses, 2 recoveries
+	//   monitoring continuity: 100.0%
+	//        20.02ms  cfi-monitor  alert       [critical] cfi.unknown-block app-core: core app-core executed unknown block 912080 (injected code)
+	//        20.02ms  ssm          lifecycle   health state healthy -> compromised
+	//        20.02ms  response-manager response    halt-core app-core: control-flow integrity violation
+	//        20.02ms  response-manager response    isolate app-core: control-flow hijack: core app-core executed unknown block 912080 (injected code)
+	//        20.02ms  ssm          response    play contain-on-cfi: isolated app-core; services shed: [local-hmi telemetry]; critical up: true
+	//        20.02ms  ssm          lifecycle   health state compromised -> degraded
+	//           30ms  ssm          recovery    recovering app-core: image verified clean, core restarted
+	//           30ms  ssm          lifecycle   health state degraded -> recovering
+	//           30ms  response-manager response    restore app-core: image verified clean, core restarted
+	//           30ms  response-manager response    resume-core app-core: image verified clean, core restarted
+	//           30ms  ssm          recovery    recovered: app-core restored; services back: [local-hmi telemetry]
+	//           30ms  ssm          lifecycle   health state recovering -> healthy
+	//
+}

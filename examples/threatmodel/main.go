@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"cres/internal/hw"
 	"cres/internal/threatmodel"
@@ -102,9 +103,15 @@ func run() error {
 		controls.EnableEnvMonitor, controls.EnableCFI)
 
 	// 5. Traceability: every control cites the threats it addresses.
+	// Sorted: rationale is a map, and example output is pinned by test.
 	fmt.Println("\nrationale (control -> threat IDs):")
-	for control, ids := range controls.Rationale {
-		fmt.Printf("  %-34s %v\n", control, ids)
+	names := make([]string, 0, len(controls.Rationale))
+	for control := range controls.Rationale {
+		names = append(names, control)
+	}
+	sort.Strings(names)
+	for _, control := range names {
+		fmt.Printf("  %-34s %v\n", control, controls.Rationale[control])
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+package main
+
+// Example replays the example's run() and pins its COMPLETE output.
+// This is the anti-rot gate for runnable documentation: if an API or
+// behaviour change shifts what this program prints, 'go test
+// ./examples/...' fails with a readable diff instead of the README
+// silently lying. The output is all virtual-time quantities, so it is
+// stable across hosts, Go releases and -parallel settings.
+func Example() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// firmware          5 threats enumerated
+	// m2m-link          4 threats enumerated
+	// tee-keystore      3 threats enumerated
+	// breaker-actuator  2 threats enumerated
+	//
+	// risk matrix (highest first):
+	//   T01  high      tampering              firmware   [firmware] unsigned or downgraded firmware installed in flash slot
+	//   T02  high      elevation-of-privilege firmware   [firmware] persistent early code execution via bootchain flaw
+	//   T03  high      elevation-of-privilege firmware   [bus] bus security attribute manipulation grants normal world secure access
+	//   T04  high      tampering              firmware   [bus] rogue bus master overwrites memory of other components
+	//   T05  high      denial-of-service      firmware   [bus] bus flooding starves legitimate initiators
+	//   T06  high      spoofing               m2m-link   [network] man-in-the-middle injects forged M2M commands
+	//   T07  high      tampering              m2m-link   [network] in-flight message modification alters telemetry or commands
+	//   T09  high      denial-of-service      m2m-link   [network] message flood exhausts device network stack
+	//   T10  high      information-disclosure tee-keystore [shared-cache] cross-world cache covert channel exfiltrates secrets
+	//   T11  high      tampering              tee-keystore [physical] voltage/clock glitching corrupts execution
+	//   T12  high      information-disclosure tee-keystore [physical] physical side channels leak key material
+	//   T13  high      tampering              breaker-actuator [actuator] spoofed or hijacked commands drive actuator to unsafe state
+	//   T14  high      denial-of-service      breaker-actuator [actuator] actuator lockout prevents protective action
+	//   T08  medium    repudiation            m2m-link   [network] device denies having sent actuation commands
+	//
+	// compiled controls:
+	//   policy rule   deny-dma0-to-secure-sram     deny read|write|exec on secure-sram
+	//   watchpoint    flash-slot-a                 writers allowed: [updater]
+	//   watchpoint    flash-slot-b                 writers allowed: [updater]
+	//   bus world cross-check for 2 initiators
+	//   rate detection: true, timing monitor: true, env monitor: true, cfi: true
+	//
+	// rationale (control -> threat IDs):
+	//   cfi-monitor                        [T02 T03]
+	//   env-monitor                        [T01 T04 T07 T11 T13]
+	//   m2m-auth+evidence                  [T06 T08]
+	//   policy:dma0|secure-sram            [T02 T03]
+	//   rate-detection                     [T05 T09 T14]
+	//   timing-monitor                     [T10 T12]
+	//   watchpoint:flash-slot-a            [T01 T04 T07 T11 T13]
+	//   watchpoint:flash-slot-b            [T01 T04 T07 T11 T13]
+}

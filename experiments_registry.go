@@ -113,4 +113,9 @@ func init() {
 			return RunE11PointerAuth(ctx.Seed, 500, WithRunPool(ctx.Pool))
 		},
 		func(_ *harness.Context, r *E11Result) []string { return []string{r.Table.Render()} }))
+	harness.Register("E13", timedRunner(
+		func(ctx *harness.Context) (*E13Result, error) {
+			return RunE13WormResilience(E13Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
+		},
+		func(_ *harness.Context, r *E13Result) []string { return []string{r.Table.Render()} }))
 }

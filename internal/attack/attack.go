@@ -1,14 +1,3 @@
-// Package attack is the attack injection framework: one scenario per
-// attack class the paper cites in Section IV, each operating on the
-// simulated platform exactly where the real exploit operates — flash
-// contents and version counters for the bootchain attacks, the in-flight
-// bus security attribute for the FPGA TrustZone attack, the shared cache
-// for the microarchitectural channels, the network for M2M
-// man-in-the-middle, the environmental sensors for physical glitching.
-//
-// Scenarios declare the alert signatures a correctly functioning CRES
-// architecture is expected to raise, which the detection-matrix
-// experiment (E3) checks mechanically.
 package attack
 
 import (

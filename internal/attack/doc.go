@@ -1,0 +1,26 @@
+// Package attack is the attack injection framework: one scenario per
+// attack class the paper cites in Section IV, each operating on the
+// simulated platform exactly where the real exploit operates — flash
+// contents and version counters for the bootchain attacks, the in-flight
+// bus security attribute for the FPGA TrustZone attack, the shared cache
+// for the microarchitectural channels, the network for M2M
+// man-in-the-middle, the environmental sensors for physical glitching.
+//
+// Scenarios declare the alert signatures a correctly functioning CRES
+// architecture is expected to raise, which the detection-matrix
+// experiment (E3) checks mechanically.
+//
+// Two combinators lift single scenarios into whole intrusions: Staged
+// composes scenarios into one timed multi-phase attack on one device
+// (probe → escalate → destroy evidence), and Worm makes a payload
+// self-propagating over a Fleet — on compromising one device it
+// schedules itself on every susceptible neighbour after a dwell, the
+// machine-to-machine campaign experiment E13 sweeps.
+//
+// Determinism contract: every injection is scheduled on the target's
+// own sim.Engine and is bounded (it stops by itself and withdraws any
+// hook it installs), so a run's alert stream is a pure function of the
+// engine seed and the launch schedule. Worm propagation follows
+// Fleet.Neighbors order — deterministic adjacency in, deterministic
+// outbreak out.
+package attack

@@ -1,0 +1,177 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/sim"
+)
+
+// launchCounter is a payload that records which engines it launched on.
+type launchCounter struct {
+	launches *int
+}
+
+func (launchCounter) Name() string                 { return "counter" }
+func (launchCounter) Description() string          { return "test payload" }
+func (launchCounter) ExpectedSignatures() []string { return []string{"test.sig"} }
+func (c launchCounter) Launch(tgt *Target) error {
+	*c.launches++
+	return nil
+}
+
+// stubFleet wires a line topology 0-1-2-...-n over one engine, with a
+// settable link-down set.
+type stubFleet struct {
+	engine *sim.Engine
+	n      int
+	down   map[[2]int]bool
+}
+
+func newStubFleet(n int) *stubFleet {
+	return &stubFleet{engine: sim.New(1), n: n, down: make(map[[2]int]bool)}
+}
+
+func (f *stubFleet) cut(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	f.down[[2]int{i, j}] = true
+}
+
+func (f *stubFleet) Size() int { return f.n }
+func (f *stubFleet) Neighbors(i int) []int {
+	var out []int
+	if i > 0 {
+		out = append(out, i-1)
+	}
+	if i < f.n-1 {
+		out = append(out, i+1)
+	}
+	return out
+}
+func (f *stubFleet) Target(i int) *Target { return &Target{Engine: f.engine} }
+func (f *stubFleet) LinkUp(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	return !f.down[[2]int{i, j}]
+}
+
+// recorder captures observer callbacks in order.
+type recorder struct {
+	infected [][2]int // device, hop
+	blocked  [][2]int // from, to
+}
+
+func (r *recorder) Infected(device, hop int) { r.infected = append(r.infected, [2]int{device, hop}) }
+func (r *recorder) Blocked(from, to int)     { r.blocked = append(r.blocked, [2]int{from, to}) }
+
+func TestWormSpreadsOverLine(t *testing.T) {
+	f := newStubFleet(5)
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}, Dwell: time.Millisecond}
+	var rec recorder
+	o, err := w.LaunchFleet(f, 2, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(10 * time.Millisecond)
+
+	if o.Infections() != 5 || launches != 5 {
+		t.Fatalf("infections=%d launches=%d, want 5/5", o.Infections(), launches)
+	}
+	// Patient zero in the middle: hop distance is |i-2|.
+	for i := 0; i < 5; i++ {
+		if !o.IsInfected(i) {
+			t.Fatalf("device %d not infected", i)
+		}
+		want := i - 2
+		if want < 0 {
+			want = -want
+		}
+		if o.Hop(i) != want {
+			t.Errorf("device %d hop=%d, want %d", i, o.Hop(i), want)
+		}
+	}
+	// Farthest devices (0 and 4) infect at 2 dwells.
+	if o.LastActivity() != 2*time.Millisecond {
+		t.Errorf("last activity %v, want 2ms", o.LastActivity())
+	}
+	if len(rec.infected) != 5 || rec.infected[0] != [2]int{2, 0} {
+		t.Errorf("observer infections %v", rec.infected)
+	}
+	if o.Blocked() != 0 || len(rec.blocked) != 0 {
+		t.Errorf("blocked=%d on an open fleet", o.Blocked())
+	}
+}
+
+func TestWormBlockedByDownLink(t *testing.T) {
+	f := newStubFleet(5)
+	f.cut(1, 2)
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}, Dwell: time.Millisecond}
+	var rec recorder
+	o, err := w.LaunchFleet(f, 0, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(10 * time.Millisecond)
+
+	if o.Infections() != 2 {
+		t.Fatalf("infections=%d, want 2 (cut at 1-2)", o.Infections())
+	}
+	if o.IsInfected(2) || o.IsInfected(3) || o.IsInfected(4) {
+		t.Fatal("worm crossed a down link")
+	}
+	if o.Blocked() != 1 || len(rec.blocked) != 1 || rec.blocked[0] != [2]int{1, 2} {
+		t.Fatalf("blocked=%d events=%v, want one 1->2 block", o.Blocked(), rec.blocked)
+	}
+	// Containment = the blocked attempt at 2 dwells.
+	if o.LastActivity() != 2*time.Millisecond {
+		t.Errorf("last activity %v, want 2ms", o.LastActivity())
+	}
+}
+
+func TestWormMaxInfections(t *testing.T) {
+	f := newStubFleet(10)
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}, Dwell: time.Millisecond, MaxInfections: 3}
+	o, err := w.LaunchFleet(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(50 * time.Millisecond)
+	if o.Infections() != 3 || launches != 3 {
+		t.Fatalf("infections=%d launches=%d, want bound of 3", o.Infections(), launches)
+	}
+}
+
+func TestWormSingleTargetDegeneratesToPayload(t *testing.T) {
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}}
+	if err := w.Launch(&Target{Engine: sim.New(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if launches != 1 {
+		t.Fatalf("launches=%d, want 1", launches)
+	}
+	if got := w.ExpectedSignatures(); len(got) != 1 || got[0] != "test.sig" {
+		t.Fatalf("ExpectedSignatures=%v, want payload's", got)
+	}
+}
+
+func TestWormLaunchErrors(t *testing.T) {
+	f := newStubFleet(3)
+	launches := 0
+	payload := launchCounter{&launches}
+	if _, err := (Worm{PlanName: "w"}).LaunchFleet(f, 0, nil); err == nil {
+		t.Error("worm with no payload launched")
+	}
+	if _, err := (Worm{PlanName: "w", Payload: payload}).LaunchFleet(f, 7, nil); err == nil {
+		t.Error("patient zero outside the fleet launched")
+	}
+	if _, err := (Worm{PlanName: "w", Payload: payload}).LaunchFleet(nil, 0, nil); err == nil {
+		t.Error("nil fleet launched")
+	}
+}

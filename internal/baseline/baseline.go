@@ -1,12 +1,3 @@
-// Package baseline implements the *existing* embedded security posture
-// the paper critiques (Section IV): a trust-only architecture whose
-// entire response repertoire is the passive countermeasure row of
-// Table I — a watchdog and a full reboot/reset. It has no resource
-// monitors, no security manager, and a plain (non-hash-chained,
-// attacker-erasable) event log stored in normal-world memory.
-//
-// The comparison experiments (E3, E4, E5) run the same attack suite
-// against this package and against the CRES architecture.
 package baseline
 
 import (

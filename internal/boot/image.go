@@ -1,15 +1,3 @@
-// Package boot implements the platform's secure and measured boot chain:
-// signed, versioned firmware images stored in A/B flash slots, a
-// multi-stage verify-then-execute loader rooted in an immutable boot ROM,
-// measurement of every stage into the TPM, and anti-rollback enforcement
-// via TPM monotonic counters.
-//
-// Section IV of the paper critiques deployed secure boot as "vulnerable
-// ... due to lack of roll-back prevention, as the system was using the
-// same digital signature to verify the application". The package
-// therefore implements both the hardened chain and, behind explicit
-// options, the weakened variants those attacks exploited — so the attack
-// experiments (E7) can demonstrate the difference.
 package boot
 
 import (

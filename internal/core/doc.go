@@ -1,0 +1,29 @@
+// Package core implements the paper's primary contribution,
+// Characteristic 1: the Independent Active Runtime System Security
+// Manager (SSM). The SSM runs on the physically isolated security core
+// with private memory (hw.WorldIsolated), receives fine-grained alerts
+// from the active runtime resource monitors (package monitor), correlates
+// them into a device health state, selects response and recovery
+// strategies from a playbook, executes them through the active response
+// manager (package response), and records the entire activity stream —
+// observations, alerts, responses, recoveries — in the tamper-evident
+// evidence log (package evidence), periodically anchoring the log head
+// with its private signing key.
+//
+// It complements, not replaces, the existing protection mechanisms: the
+// boot chain, TPM, TEE and policies keep running; the SSM is the layer
+// the paper found missing — what happens AFTER trust breaks.
+//
+// In a networked fleet the SSM also cooperates (gossip.go): first
+// detections are published as compact alert digests, neighbour digests
+// are ingested as KindPeer evidence and correlated into per-peer threat
+// scores, and enough neighbour evidence raises a healthy device's
+// posture to suspicious before its own monitors have fired — the
+// pre-emptive window the cooperative link-quarantine response needs.
+//
+// Determinism contract: all periodic activity (observation sampling,
+// anchoring, score decay) runs on sim tickers; alert handling, scoring
+// and play selection are in-order, so the evidence stream and health
+// trajectory are pure functions of the engine seed and the monitors'
+// alert schedule.
+package core

@@ -26,6 +26,9 @@ type BreachReport struct {
 	// Observations, Alerts, Responses, Recoveries count records by kind
 	// within the window.
 	Observations, Alerts, Responses, Recoveries int
+	// PeerAlerts counts neighbour-evidence records (gossiped alert
+	// digests ingested from other devices) within the window.
+	PeerAlerts int
 	// Continuity is the monitored-coverage fraction of the window (see
 	// evidence.Continuity).
 	Continuity float64
@@ -65,6 +68,9 @@ func Reconstruct(log *evidence.Log, from, to sim.VirtualTime, gap sim.VirtualTim
 			r.Timeline = append(r.Timeline, rec)
 		case evidence.KindLifecycle:
 			r.Timeline = append(r.Timeline, rec)
+		case evidence.KindPeer:
+			r.PeerAlerts++
+			r.Timeline = append(r.Timeline, rec)
 		}
 	}
 	r.Continuity = log.Continuity(from, to, gap, "")
@@ -85,6 +91,9 @@ func (r *BreachReport) Render() string {
 	}
 	fmt.Fprintf(&b, "  records: %d observations, %d alerts, %d responses, %d recoveries\n",
 		r.Observations, r.Alerts, r.Responses, r.Recoveries)
+	if r.PeerAlerts > 0 {
+		fmt.Fprintf(&b, "  neighbour evidence: %d gossiped digests\n", r.PeerAlerts)
+	}
 	fmt.Fprintf(&b, "  monitoring continuity: %.1f%%\n", r.Continuity*100)
 	for _, rec := range r.Timeline {
 		fmt.Fprintf(&b, "  %12v  %-12s %-11s %s\n", rec.At, rec.Source, rec.Kind, rec.Detail)

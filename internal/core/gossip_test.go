@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/evidence"
+	"cres/internal/monitor"
+	"cres/internal/sim"
+)
+
+func gossipSSM(t *testing.T, cfg Config) (*sim.Engine, *SSM) {
+	t.Helper()
+	eng := sim.New(1)
+	key, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("test"), "ssm", "", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng, cfg, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, s
+}
+
+func TestIngestPeerDigestRaisesPosture(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	if s.State() != StateHealthy {
+		t.Fatalf("start state %v", s.State())
+	}
+	d := PeerDigest{Origin: "node-03", Signature: "bus.security-fault", Severity: monitor.Critical, At: 50}
+	s.IngestPeerDigest(d)
+	if s.State() != StateSuspicious {
+		t.Fatalf("state after critical peer digest = %v, want suspicious", s.State())
+	}
+	if s.PeerDigestsIngested() != 1 {
+		t.Fatalf("ingested = %d, want 1", s.PeerDigestsIngested())
+	}
+	if s.PeerScore("node-03") <= 0 {
+		t.Fatal("peer score not accumulated")
+	}
+	// Peer evidence lands in the log as KindPeer.
+	found := false
+	for _, rec := range s.Log().Window(0, 1<<40) {
+		if rec.Kind == evidence.KindPeer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no KindPeer record in the evidence log")
+	}
+	// Peer evidence alone never declares compromise.
+	s.IngestPeerDigest(PeerDigest{Origin: "node-04", Signature: "cfi.unknown-block", Severity: monitor.Critical, At: 60})
+	if s.State() != StateSuspicious {
+		t.Fatalf("state after more peer evidence = %v, want still suspicious", s.State())
+	}
+}
+
+func TestIngestPeerDigestDedupes(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	fired := 0
+	s.SetPeerThreatHandler(func(PeerDigest) { fired++ })
+	d := PeerDigest{Origin: "node-01", Signature: "bus.watchpoint", Severity: monitor.Critical, At: 10}
+	for i := 0; i < 5; i++ {
+		s.IngestPeerDigest(d)
+	}
+	if s.PeerDigestsIngested() != 1 {
+		t.Fatalf("ingested = %d, want 1 (deduped)", s.PeerDigestsIngested())
+	}
+	if fired != 1 {
+		t.Fatalf("peer-threat hook fired %d times, want once", fired)
+	}
+	// A different signature from the same origin is fresh evidence.
+	d.Signature = "cfi.invalid-edge"
+	s.IngestPeerDigest(d)
+	if s.PeerDigestsIngested() != 2 || fired != 2 {
+		t.Fatalf("ingested=%d fired=%d after second signature, want 2/2", s.PeerDigestsIngested(), fired)
+	}
+}
+
+func TestPeerThreatHandlerSeverityGate(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	fired := 0
+	s.SetPeerThreatHandler(func(PeerDigest) { fired++ })
+	s.IngestPeerDigest(PeerDigest{Origin: "node-01", Signature: "net.rate.anomaly", Severity: monitor.Warning, At: 10})
+	if fired != 0 {
+		t.Fatal("peer-threat hook fired on a warning digest")
+	}
+	s.IngestPeerDigest(PeerDigest{Origin: "node-01", Signature: "bus.security-fault", Severity: monitor.Critical, At: 20})
+	if fired != 1 {
+		t.Fatal("peer-threat hook did not fire on a critical digest")
+	}
+}
+
+// TestIngestPeerDigestEscalation pins the escalation path: signatures
+// that start at Warning on the origin (e.g. auth failures before their
+// escalation threshold) must still be able to arm the Critical-only
+// cooperative response when the origin later re-gossips them at
+// Critical.
+func TestIngestPeerDigestEscalation(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	fired := 0
+	s.SetPeerThreatHandler(func(PeerDigest) { fired++ })
+	d := PeerDigest{Origin: "node-01", Signature: "net.auth-failure", Severity: monitor.Warning, At: 10}
+	s.IngestPeerDigest(d)
+	warnScore := s.PeerScore("node-01")
+	if fired != 0 || warnScore <= 0 {
+		t.Fatalf("after warning digest: fired=%d score=%v", fired, warnScore)
+	}
+	// Escalated digest: fresh evidence, fires the hook, tops the score
+	// up to the critical weight (not warning + critical).
+	d.Severity = monitor.Critical
+	d.At = 20
+	s.IngestPeerDigest(d)
+	if fired != 1 {
+		t.Fatalf("escalated digest fired hook %d times, want 1", fired)
+	}
+	if got := s.PeerScore("node-01"); got <= warnScore || got >= warnScore+5.0 {
+		t.Fatalf("escalated score %v, want topped up to critical weight (warning was %v)", got, warnScore)
+	}
+	if s.PeerDigestsIngested() != 2 {
+		t.Fatalf("ingested = %d, want 2", s.PeerDigestsIngested())
+	}
+	// Re-delivery at the now-known severity is a dup again.
+	s.IngestPeerDigest(d)
+	if fired != 1 || s.PeerDigestsIngested() != 2 {
+		t.Fatalf("critical re-delivery not deduped: fired=%d ingested=%d", fired, s.PeerDigestsIngested())
+	}
+}
+
+func TestPeerSuspicionDecaysBackToHealthy(t *testing.T) {
+	eng, s := gossipSSM(t, Config{})
+	s.IngestPeerDigest(PeerDigest{Origin: "node-01", Signature: "bus.security-fault", Severity: monitor.Critical, At: 10})
+	if s.State() != StateSuspicious {
+		t.Fatalf("state %v, want suspicious", s.State())
+	}
+	// The raised posture must HOLD while the peer score decays — that
+	// is the pre-emptive window cooperation buys.
+	eng.RunFor(10 * time.Millisecond)
+	if s.State() != StateSuspicious {
+		t.Fatalf("state %v after 10ms, want posture still raised", s.State())
+	}
+	// Critical weight 5.0 decays below 0.01 after ~62 ticks at 0.9.
+	eng.RunFor(100 * time.Millisecond)
+	if s.State() != StateHealthy {
+		t.Fatalf("state %v after decay window, want healthy", s.State())
+	}
+	if s.PeerScore("node-01") != 0 {
+		t.Fatalf("peer score %v after decay, want 0", s.PeerScore("node-01"))
+	}
+}
+
+func TestDigestPublisherFiresOncePerSignature(t *testing.T) {
+	_, s := gossipSSM(t, Config{DeviceName: "node-00"})
+	var got []PeerDigest
+	s.SetDigestPublisher(func(d PeerDigest) { got = append(got, d) })
+	alert := monitor.Alert{
+		At: 5, Monitor: "bus-monitor", Resource: "app-core",
+		Severity: monitor.Critical, Signature: "bus.security-fault", Detail: "probe",
+	}
+	s.HandleAlert(alert)
+	s.HandleAlert(alert) // repeat detection: no new digest
+	s.HandleAlert(monitor.Alert{
+		At: 7, Monitor: "bus-monitor", Resource: "app-core",
+		Severity: monitor.Info, Signature: "bus.perm-fault", Detail: "noise",
+	}) // below Warning: not shared
+	if len(got) != 1 {
+		t.Fatalf("published %d digests, want 1: %v", len(got), got)
+	}
+	if got[0].Origin != "node-00" || got[0].Signature != "bus.security-fault" || got[0].At != 5 {
+		t.Fatalf("digest = %+v", got[0])
+	}
+}
+
+// TestDigestPublisherRepublishesOnEscalation pins the origin side of
+// the escalation path: a signature first seen at Warning publishes
+// again — exactly once more — when it crosses Critical, so peers can
+// run their Critical-only responses.
+func TestDigestPublisherRepublishesOnEscalation(t *testing.T) {
+	_, s := gossipSSM(t, Config{DeviceName: "node-00"})
+	var got []PeerDigest
+	s.SetDigestPublisher(func(d PeerDigest) { got = append(got, d) })
+	warn := monitor.Alert{
+		At: 5, Monitor: "net-monitor", Resource: "peer",
+		Severity: monitor.Warning, Signature: "net.auth-failure", Detail: "failure #1",
+	}
+	crit := warn
+	crit.At, crit.Severity, crit.Detail = 8, monitor.Critical, "failure #3"
+	s.HandleAlert(warn)
+	s.HandleAlert(warn) // repeat at same severity: nothing
+	s.HandleAlert(crit) // escalation: republish
+	s.HandleAlert(crit) // repeat at critical: nothing
+	if len(got) != 2 {
+		t.Fatalf("published %d digests, want 2 (warning, then escalation): %v", len(got), got)
+	}
+	if got[0].Severity != monitor.Warning || got[1].Severity != monitor.Critical {
+		t.Fatalf("digest severities = %v, %v", got[0].Severity, got[1].Severity)
+	}
+	if got[1].At != 8 {
+		t.Fatalf("escalated digest carries At=%v, want the escalating alert's time 8", got[1].At)
+	}
+}

@@ -1,18 +1,3 @@
-// Package core implements the paper's primary contribution,
-// Characteristic 1: the Independent Active Runtime System Security
-// Manager (SSM). The SSM runs on the physically isolated security core
-// with private memory (hw.WorldIsolated), receives fine-grained alerts
-// from the active runtime resource monitors (package monitor), correlates
-// them into a device health state, selects response and recovery
-// strategies from a playbook, executes them through the active response
-// manager (package response), and records the entire activity stream —
-// observations, alerts, responses, recoveries — in the tamper-evident
-// evidence log (package evidence), periodically anchoring the log head
-// with its private signing key.
-//
-// It complements, not replaces, the existing protection mechanisms: the
-// boot chain, TPM, TEE and policies keep running; the SSM is the layer
-// the paper found missing — what happens AFTER trust breaks.
 package core
 
 import (
@@ -84,6 +69,13 @@ type Config struct {
 	// ScoreDecay multiplies every resource score each observation tick,
 	// so stale suspicion fades (default 0.9).
 	ScoreDecay float64
+	// DeviceName identifies this device in gossiped alert digests
+	// (default "device"). Only used when a digest publisher is set.
+	DeviceName string
+	// PeerSuspicionThreshold is the accumulated per-peer threat score
+	// at which neighbour evidence alone raises a healthy device to
+	// suspicious (default 1.0). See IngestPeerDigest.
+	PeerSuspicionThreshold float64
 }
 
 func (c *Config) fillDefaults() {
@@ -101,6 +93,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ScoreDecay == 0 {
 		c.ScoreDecay = 0.9
+	}
+	if c.DeviceName == "" {
+		c.DeviceName = "device"
+	}
+	if c.PeerSuspicionThreshold == 0 {
+		c.PeerSuspicionThreshold = 1.0
 	}
 }
 
@@ -162,6 +160,17 @@ type SSM struct {
 
 	onStateChange func(from, to HealthState)
 
+	// Cooperative-response state (gossip.go). deviceName is cached from
+	// the config; the maps allocate lazily so isolated devices pay
+	// nothing.
+	deviceName    string
+	publishDigest func(PeerDigest)
+	onPeerThreat  func(PeerDigest)
+	sigPublished  map[string]monitor.Severity
+	peerSeen      map[string]monitor.Severity
+	peerScores    map[string]float64
+	peerIngested  uint64
+
 	alertsHandled  uint64
 	responsesFired uint64
 }
@@ -186,6 +195,7 @@ func New(engine *sim.Engine, cfg Config, signer *cryptoutil.KeyPair, onStateChan
 		scores:        make(map[string]float64),
 		detections:    make(map[string]Detection),
 		onStateChange: onStateChange,
+		deviceName:    cfg.DeviceName,
 	}
 	var err error
 	s.obsTicker, err = sim.NewTicker(engine, cfg.ObservationPeriod, s.observe)
@@ -281,10 +291,14 @@ func (s *SSM) HandleAlert(a monitor.Alert) {
 	s.log.Append(a.At, a.Monitor, evidence.KindAlert,
 		fmt.Sprintf("[%s] %s %s: %s", a.Severity, a.Signature, a.Resource, a.Detail))
 
-	// 2. First-detection bookkeeping (per signature).
+	// 2. First-detection bookkeeping (per signature). Detections — and
+	// later escalations of the same signature — are what the device
+	// shares with its gossip peers, if any; the publish gate itself
+	// lives in maybePublishDigest.
 	if _, seen := s.detections[a.Signature]; !seen {
 		s.detections[a.Signature] = Detection{At: a.At, Signature: a.Signature, Resource: a.Resource, Severity: a.Severity}
 	}
+	s.maybePublishDigest(a.Signature, a.At, a.Severity)
 
 	// 3. Threat scoring and health state.
 	s.scores[a.Resource] += severityWeight(a.Severity)
@@ -383,15 +397,23 @@ func (s *SSM) observe(at sim.VirtualTime) {
 		}
 		s.log.Append(at, m.Name(), evidence.KindObservation, string(s.obsScratch))
 	}
-	// Suspicion decay.
+	// Suspicion decay — local resource scores and gossiped peer threat
+	// scores alike, so a pre-emptively raised posture fades once the
+	// neighbourhood goes quiet.
 	for r := range s.scores {
 		s.scores[r] *= s.cfg.ScoreDecay
 		if s.scores[r] < 0.01 {
 			delete(s.scores, r)
 		}
 	}
+	for p := range s.peerScores {
+		s.peerScores[p] *= s.cfg.ScoreDecay
+		if s.peerScores[p] < 0.01 {
+			delete(s.peerScores, p)
+		}
+	}
 	// Suspicious -> healthy when all scores have decayed away.
-	if s.state == StateSuspicious && len(s.scores) == 0 {
+	if s.state == StateSuspicious && len(s.scores) == 0 && len(s.peerScores) == 0 {
 		s.setState(StateHealthy)
 	}
 }

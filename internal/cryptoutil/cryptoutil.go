@@ -1,14 +1,3 @@
-// Package cryptoutil is the cryptographic substrate for the CRES platform.
-//
-// It wraps the standard library primitives used throughout the repository:
-// ed25519 identity and signing keys, SHA-256 digests, HMAC-based key
-// derivation (in the spirit of HKDF / NIST SP 800-108 counter mode),
-// AES-GCM sealing, constant-time comparison, explicit key zeroisation
-// (Table I, response row: "Key zeroisation"), and persistent-style
-// monotonic counters used for anti-rollback.
-//
-// Everything here is deterministic when given a deterministic entropy
-// source, which the simulator exploits for reproducible experiments.
 package cryptoutil
 
 import (

@@ -1,0 +1,17 @@
+// Package evidence implements the "continuity of data stream" requirement
+// of Section V: a tamper-evident, hash-chained log of monitor
+// observations, alerts, responses and recovery actions, from which the
+// timeline of a security breach can be reconstructed for cyber forensics.
+//
+// The paper's claim is that no existing embedded defence preserves
+// evidence once trust is broken. The log defends against exactly that:
+// every record is chained to its predecessor by digest, and the head of
+// the chain can be anchored with a signature from the (physically
+// isolated) security manager, so post-compromise erasure or rewriting is
+// detectable.
+//
+// Determinism contract: the chain digest covers (seq, virtual time,
+// source, kind, detail, prev) only — nothing host-dependent — so the
+// same run always produces the same head digest, which is what lets
+// experiments diff evidence byte-for-byte across parallelism.
+package evidence

@@ -1,14 +1,3 @@
-// Package evidence implements the "continuity of data stream" requirement
-// of Section V: a tamper-evident, hash-chained log of monitor
-// observations, alerts, responses and recovery actions, from which the
-// timeline of a security breach can be reconstructed for cyber forensics.
-//
-// The paper's claim is that no existing embedded defence preserves
-// evidence once trust is broken. The log defends against exactly that:
-// every record is chained to its predecessor by digest, and the head of
-// the chain can be anchored with a signature from the (physically
-// isolated) security manager, so post-compromise erasure or rewriting is
-// detectable.
 package evidence
 
 import (
@@ -36,6 +25,10 @@ const (
 	KindRecovery
 	// KindLifecycle is a platform lifecycle event (boot, update, reset).
 	KindLifecycle
+	// KindPeer is neighbour evidence: an alert digest gossiped by
+	// another device over the M2M fabric. Appended after KindLifecycle
+	// so existing kind values never renumber.
+	KindPeer
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +44,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case KindLifecycle:
 		return "lifecycle"
+	case KindPeer:
+		return "peer"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,18 +1,3 @@
-// Package fleet is the streaming fleet-attestation engine: it appraises
-// fleets of millions of simulated devices in memory bounded by a batch,
-// never a fleet. A fleet is split into verifier shards (the distributed
-// verifier tier an operator deploys); each shard streams its devices
-// through fixed-size batches and folds every appraisal into a mergeable
-// Summary the moment it concludes — no per-device record survives the
-// batch that produced it.
-//
-// Everything a device is — its mix share, its firmware measurement,
-// whether it is tampered, its network jitter, its challenge nonce, its
-// anomaly-sample priority — is a pure function of (fleet seed, global
-// device index) through harness.ShardSeed. Shard and batch boundaries
-// therefore never change any device's fate, Summary.Merge is associative
-// and commutative, and fleet tables are byte-identical at any
-// parallelism.
 package fleet
 
 import (

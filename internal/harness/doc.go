@@ -1,0 +1,17 @@
+// Package harness is the sharded parallel experiment runner: it fans
+// independent simulation runs across a worker pool and merges their
+// results in shard order, so experiment output is byte-identical
+// regardless of the degree of parallelism or GOMAXPROCS.
+//
+// Determinism rests on two invariants. First, every shard gets its own
+// sim.Engine seeded with ShardSeed(rootSeed, shardIndex) — a pure
+// function of the root seed and the shard's position, never of
+// scheduling order. Second, Map collects results into a slice indexed by
+// shard, so the merge order is the submission order even when workers
+// finish in arbitrary order.
+//
+// The package also hosts the experiment registry (registry.go): the
+// E1–E11 experiments register themselves once, in print order, and the
+// benchmark CLI iterates the registry instead of hand-rolling a loop per
+// experiment.
+package harness

@@ -1,17 +1,3 @@
-// Package landscape is the machine-readable model of the paper's two
-// exhibits: Figure 1 (the core security functions, principles and
-// activities of NIST RMF, NIST CSF and NCSC NIS) and Table I (the
-// association of NIS principles with CSF core security functions, the
-// derived embedded security requirements of a cyber resilient embedded
-// system, and the mapping of the existing embedded security landscape
-// onto those requirements).
-//
-// Encoding the table as data lets experiment E1 *derive* the paper's
-// central observation — that the RESPOND and RECOVER functions lack
-// active methods ("Active countermeasure" has no existing entry) — by
-// computing coverage, rather than merely asserting it. The package also
-// maps every derived requirement to the module of this repository that
-// realises it.
 package landscape
 
 import "sort"

@@ -1,0 +1,24 @@
+// Package m2m simulates the machine-to-machine network connecting field
+// devices to operators and verifiers — the "enabling technology for
+// critical infrastructure" whose security challenges (verification,
+// man-in-the-middle avoidance) Section III-4 of the paper highlights.
+//
+// Endpoints exchange signed, nonce-fresh messages over links with
+// configurable latency and loss. A man-in-the-middle interposer hook lets
+// the attack injector drop, modify or forge traffic; the endpoint's
+// verification path (signature check + replay window) feeds the network
+// monitor so the security manager sees the attack.
+//
+// The fabric is topology-aware at the link level: the cooperative
+// response layer can quarantine the link between two endpoints
+// (QuarantineLink), after which traffic is dropped in both directions —
+// including messages already in flight — until the link is restored.
+// Dropped counts land in Stats.Quarantined. The networked-fleet
+// experiment (E13) races exactly this gate against a worm's propagation
+// dwell.
+//
+// Determinism contract: delivery order is fixed by the shared
+// sim.Engine; the only randomness is the loss draw, taken from the
+// engine's seeded RNG, so a network trace is a pure function of the
+// engine seed and the schedule of sends.
+package m2m

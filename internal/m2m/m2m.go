@@ -1,13 +1,3 @@
-// Package m2m simulates the machine-to-machine network connecting field
-// devices to operators and verifiers — the "enabling technology for
-// critical infrastructure" whose security challenges (verification,
-// man-in-the-middle avoidance) Section III-4 of the paper highlights.
-//
-// Endpoints exchange signed, nonce-fresh messages over links with
-// configurable latency and loss. A man-in-the-middle interposer hook lets
-// the attack injector drop, modify or forge traffic; the endpoint's
-// verification path (signature check + replay window) feeds the network
-// monitor so the security manager sees the attack.
 package m2m
 
 import (
@@ -67,6 +57,9 @@ type Stats struct {
 	Tampered  uint64
 	AuthFail  uint64
 	Replayed  uint64
+	// Quarantined counts messages dropped by a link quarantine gate
+	// (see Network.QuarantineLink).
+	Quarantined uint64
 }
 
 // Network is the simulated M2M fabric. Create with NewNetwork.
@@ -77,8 +70,11 @@ type Network struct {
 	// mitm, when non-nil, sees every message in flight and returns the
 	// (possibly modified) message to deliver, or nil to drop it. Only
 	// the attack injector installs it.
-	mitm  func(Message) *Message
-	stats Stats
+	mitm func(Message) *Message
+	// quarantined marks links cut by the cooperative response layer;
+	// keyed by linkKey (see topology.go). Lazily allocated.
+	quarantined map[string]bool
+	stats       Stats
 }
 
 // NewNetwork creates a network.
@@ -180,7 +176,10 @@ func (e *Endpoint) Send(to, kind string, payload []byte) error {
 	return nil
 }
 
-// transmit schedules delivery.
+// transmit schedules delivery. The quarantine gate is checked at
+// delivery time, not send time: a message already in flight when the
+// link is cut is dropped too, like a frame on a line that just went
+// down.
 func (n *Network) transmit(msg Message) {
 	n.stats.Sent++
 	if n.cfg.Loss > 0 && n.engine.RNG().Float64() < n.cfg.Loss {
@@ -188,6 +187,10 @@ func (n *Network) transmit(msg Message) {
 		return
 	}
 	n.engine.MustSchedule(n.cfg.Latency, func() {
+		if !n.LinkUp(msg.From, msg.To) {
+			n.stats.Quarantined++
+			return
+		}
 		m := msg
 		if n.mitm != nil {
 			out := n.mitm(m)

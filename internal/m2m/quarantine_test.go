@@ -1,0 +1,115 @@
+package m2m
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/sim"
+)
+
+// quarantineRig builds a two-node network with mutual trust.
+func quarantineRig(t *testing.T) (*sim.Engine, *Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	eng := sim.New(1)
+	net := NewNetwork(eng, Config{})
+	keyA, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("test"), "a", "", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := cryptoutil.KeyPairFromSeed(cryptoutil.DeriveKey([]byte("test"), "b", "", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.AddNode("a", keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode("b", keyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Trust("b", b.PublicKey())
+	b.Trust("a", a.PublicKey())
+	return eng, net, a, b
+}
+
+func TestQuarantineLinkBlocksBothDirections(t *testing.T) {
+	eng, net, a, b := quarantineRig(t)
+	if err := net.QuarantineLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if net.LinkUp("a", "b") || net.LinkUp("b", "a") {
+		t.Fatal("quarantined link reports up")
+	}
+	if err := a.Send("b", "telemetry", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", "telemetry", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if a.Received() != 0 || b.Received() != 0 {
+		t.Fatalf("messages crossed a quarantined link: a=%d b=%d", a.Received(), b.Received())
+	}
+	if got := net.Stats().Quarantined; got != 2 {
+		t.Fatalf("Stats.Quarantined = %d, want 2", got)
+	}
+	if net.QuarantinedLinks() != 1 {
+		t.Fatalf("QuarantinedLinks = %d, want 1", net.QuarantinedLinks())
+	}
+}
+
+func TestQuarantineDropsInFlightMessages(t *testing.T) {
+	eng, net, a, b := quarantineRig(t)
+	// Send first, cut before the 500µs delivery.
+	if err := a.Send("b", "telemetry", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(100 * time.Microsecond)
+	if err := net.QuarantineLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if b.Received() != 0 {
+		t.Fatal("in-flight message survived the link cut")
+	}
+}
+
+func TestRestoreLinkReopensTraffic(t *testing.T) {
+	eng, net, a, b := quarantineRig(t)
+	if err := net.QuarantineLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-cut, then restore.
+	if err := net.QuarantineLink("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RestoreLink("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !net.LinkUp("a", "b") {
+		t.Fatal("restored link reports down")
+	}
+	if err := a.Send("b", "telemetry", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if b.Received() != 1 {
+		t.Fatalf("restored link delivered %d messages, want 1", b.Received())
+	}
+	// Restoring an un-quarantined link is a no-op.
+	if err := net.RestoreLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantineUnknownNode(t *testing.T) {
+	_, net, _, _ := quarantineRig(t)
+	if err := net.QuarantineLink("a", "ghost"); err == nil {
+		t.Fatal("quarantining an unknown node succeeded")
+	}
+	if err := net.RestoreLink("ghost", "a"); err == nil {
+		t.Fatal("restoring an unknown node succeeded")
+	}
+}

@@ -1,0 +1,62 @@
+package m2m
+
+import (
+	"fmt"
+)
+
+// This file extends the M2M fabric with link-level state: a quarantine
+// gate per (unordered) endpoint pair, installed by the cooperative
+// response layer to cut a link before a propagating intrusion crosses
+// it. A quarantined link silently drops traffic in both directions —
+// exactly like a de-energised physical line — and the drop is counted
+// in Stats.Quarantined so experiments can report how much the gate
+// actually absorbed.
+
+// linkKey canonicalises an unordered endpoint pair so that
+// (a,b) and (b,a) address the same link.
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// QuarantineLink installs an isolation gate on the link between the two
+// named endpoints: until restored, no message crosses it in either
+// direction. Quarantining an already-quarantined link is a no-op (two
+// neighbours may both decide to cut the same link — that must not be an
+// error). Both endpoints must exist.
+func (n *Network) QuarantineLink(a, b string) error {
+	for _, name := range []string{a, b} {
+		if _, ok := n.nodes[name]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+		}
+	}
+	if n.quarantined == nil {
+		n.quarantined = make(map[string]bool)
+	}
+	n.quarantined[linkKey(a, b)] = true
+	return nil
+}
+
+// RestoreLink removes the quarantine gate from a link (operator
+// recovery). Restoring a link that is not quarantined is a no-op.
+func (n *Network) RestoreLink(a, b string) error {
+	for _, name := range []string{a, b} {
+		if _, ok := n.nodes[name]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+		}
+	}
+	delete(n.quarantined, linkKey(a, b))
+	return nil
+}
+
+// LinkUp reports whether the link between the two endpoints carries
+// traffic (i.e. is not quarantined). Links that were never quarantined
+// are up; endpoint existence is not checked.
+func (n *Network) LinkUp(a, b string) bool {
+	return !n.quarantined[linkKey(a, b)]
+}
+
+// QuarantinedLinks returns the number of currently quarantined links.
+func (n *Network) QuarantinedLinks() int { return len(n.quarantined) }

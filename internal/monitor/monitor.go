@@ -1,14 +1,3 @@
-// Package monitor implements the paper's Characteristic 2: Active Runtime
-// Resource Monitors. Each monitor watches one class of platform resource —
-// bus traffic, control flow, cache timing, environmental sensors, network
-// messages — producing fine-grained, resource-specific observations and
-// raising alerts toward the System Security Manager (package core).
-//
-// Detection combines the two classical methods the paper surveys under
-// the DETECT core security function: signature-based rules (known-bad
-// patterns such as security faults, invalid control-flow edges, replayed
-// nonces) and statistical anomaly detection (EWMA mean/variance with a
-// z-score threshold over per-resource rates).
 package monitor
 
 import (

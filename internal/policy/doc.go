@@ -1,0 +1,18 @@
+// Package policy implements policy-based security modelling and
+// enforcement for the platform, after the authors' companion work
+// ("Policy-Based Security Modelling and Enforcement Approach for Emerging
+// Embedded Architectures", SOCC 2018; "Embedded policing and policy
+// enforcement approach for future secure IoT technologies", Living in the
+// IoT 2018).
+//
+// A policy Set is an ordered collection of allow/deny rules over
+// (subject, object, action) triples — subjects are bus initiators,
+// objects are memory regions or abstract resources, actions are
+// read/write/execute. The Set compiles to a bus Gate for hardware-level
+// enforcement, and its digest is measured into the TPM so the loaded
+// policy is part of the attested platform state.
+//
+// Determinism contract: rule evaluation is ordered by priority then
+// registration; the digest covers the normalized rule list, so the
+// same policy set always measures identically into the TPM.
+package policy

@@ -1,17 +1,3 @@
-// Package ptrauth models ARMv8.3-style pointer authentication, the
-// countermeasure Section IV of the paper discusses for control-flow and
-// pointer-integrity attacks ("a pointer authentication mechanism has
-// been introduced [QARMA]. This guarantees the integrity of pointers by
-// extending each pointer with authentication code").
-//
-// A pointer authentication code (PAC) is a truncated MAC over the
-// pointer value and a context modifier, keyed by a per-boot key held in
-// the secure world, and stored in the unused high bits of the pointer.
-// Signing and authenticating model the PACIA/AUTIA instruction pair.
-//
-// The package also reproduces the limitation the paper notes: the PAC
-// is only as strong as its key and its bit width — the attack surface
-// exercised by the pointer-forge scenario in the experiments.
 package ptrauth
 
 import (

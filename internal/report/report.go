@@ -1,7 +1,3 @@
-// Package report renders experiment results as aligned text tables, CSV
-// and labelled series — the output format of the benchmark harness that
-// regenerates the paper's Table I and Figure 1 and the derived
-// experiments' tables.
 package report
 
 import (

@@ -1,0 +1,66 @@
+package response
+
+import (
+	"fmt"
+	"sort"
+
+	"cres/internal/m2m"
+)
+
+// Cooperative (fleet-level) countermeasures: where IsolateInitiator
+// gates a bus port inside one device, QuarantineLink gates a network
+// link BETWEEN devices — the response the paper's interconnected-fleet
+// setting needs when the intrusion is on the far side of the wire.
+// The manager records each cut like any other action, so link
+// quarantine shows up in the evidence log and the forensic timeline.
+
+// QuarantineLink cuts the M2M link between this device and a peer.
+// Idempotent per link: re-quarantining an already-cut link records
+// nothing (two alerts about one neighbour must not double-book).
+func (m *Manager) QuarantineLink(net *m2m.Network, local, peer, reason string) error {
+	if net == nil {
+		return fmt.Errorf("response: quarantine %s-%s: no network attached", local, peer)
+	}
+	key := local + "|" + peer
+	if m.linksCut[key] {
+		return nil
+	}
+	if err := net.QuarantineLink(local, peer); err != nil {
+		return fmt.Errorf("response: quarantine %s-%s: %w", local, peer, err)
+	}
+	if m.linksCut == nil {
+		m.linksCut = make(map[string]bool)
+	}
+	m.linksCut[key] = true
+	m.record(ActQuarantineLink, local+"-"+peer, reason)
+	return nil
+}
+
+// RestoreLink re-opens a link this manager quarantined (operator
+// recovery after the neighbour is verified clean).
+func (m *Manager) RestoreLink(net *m2m.Network, local, peer, reason string) error {
+	key := local + "|" + peer
+	if !m.linksCut[key] {
+		return fmt.Errorf("%w: link %s-%s", ErrNotIsolated, local, peer)
+	}
+	if net == nil {
+		return fmt.Errorf("response: restore %s-%s: no network attached", local, peer)
+	}
+	if err := net.RestoreLink(local, peer); err != nil {
+		return fmt.Errorf("response: restore %s-%s: %w", local, peer, err)
+	}
+	delete(m.linksCut, key)
+	m.record(ActRestoreLink, local+"-"+peer, reason)
+	return nil
+}
+
+// QuarantinedLinks returns the peers whose links this manager cut,
+// sorted.
+func (m *Manager) QuarantinedLinks() []string {
+	out := make([]string, 0, len(m.linksCut))
+	for k := range m.linksCut {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,16 +1,3 @@
-// Package response implements the paper's Characteristic 3: the Active
-// Response Manager. It executes the response and recovery strategies
-// selected by the System Security Manager, turning decisions into
-// concrete platform countermeasures: physically isolating a compromised
-// bus initiator behind a hardware gate, halting a core, locking an
-// actuator to its fail-safe value, flushing or partitioning the shared
-// cache, and zeroising key material.
-//
-// It also hosts the graceful-degradation controller: a registry of the
-// device's services with criticality flags, so that isolating a
-// compromised resource takes down only the services that depend on it
-// "while maintaining critical services in next-generation critical
-// infrastructure" (Section V).
 package response
 
 import (
@@ -46,6 +33,11 @@ const (
 	ActPartitionCache
 	// ActZeroiseKeys destroys key material.
 	ActZeroiseKeys
+	// ActQuarantineLink cuts an M2M link towards a compromised
+	// neighbour (cooperative response).
+	ActQuarantineLink
+	// ActRestoreLink re-opens a quarantined M2M link after recovery.
+	ActRestoreLink
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +61,10 @@ func (k ActionKind) String() string {
 		return "partition-cache"
 	case ActZeroiseKeys:
 		return "zeroise-keys"
+	case ActQuarantineLink:
+		return "quarantine-link"
+	case ActRestoreLink:
+		return "restore-link"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(k))
 	}
@@ -98,6 +94,9 @@ type Manager struct {
 	onAction func(Action)
 
 	isolated map[string]hw.GateToken
+	// linksCut tracks M2M links this manager quarantined, keyed
+	// "local|peer" (see network.go). Lazily allocated.
+	linksCut map[string]bool
 	history  []Action
 }
 

@@ -1,26 +1,3 @@
-// Package scenario is the declarative scenario layer: device shapes,
-// staged attack plans and whole campaigns expressed as data, compiled
-// into validated, runnable form — the same move internal/threatmodel
-// makes when it compiles abstract threats into concrete controls.
-//
-// Three spec types mirror the three axes of the scenario space:
-//
-//   - DeviceSpec describes a device's shape (architecture, detection
-//     mode, monitor set, firmware, boot/TEE options, services);
-//   - AttackPlan composes registered attack scenarios into an ordered,
-//     timed intrusion (probe → escalate → destroy evidence);
-//   - CampaignSpec crosses devices × attacks × seeds into a matrix of
-//     independent runs over the sharded harness.
-//
-// Each has a Compile step that validates the spec, fills defaults and
-// returns a Compiled* value the layers above execute. Compilation never
-// touches a simulator: a compiled spec is still pure data plus
-// ready-to-launch closures, so specs can be validated, enumerated and
-// diffed without running anything. The root cres package assembles
-// devices from compiled DeviceSpecs; the experiment drivers and CLIs
-// enumerate compiled campaigns. Adding a new scenario shape is a
-// one-file change here or in internal/attack — no experiment or CLI
-// edits required.
 package scenario
 
 import (

@@ -1,20 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// Every other substrate in this repository (the SoC hardware model, the
-// M2M network, the attack injector, the runtime monitors) advances virtual
-// time exclusively through an Engine. All randomness flows from the
-// Engine's seeded RNG, so a simulation run is reproducible bit-for-bit
-// given the same seed and the same schedule of calls.
-//
-// The kernel is intentionally single-threaded: the paper's argument is
-// about architecture (who observes what, who is isolated from whom), not
-// about wall-clock concurrency, and a single-threaded event loop keeps
-// every experiment deterministic.
-//
-// The scheduler is allocation-free in steady state: dispatched event
-// structs are recycled through a free list and identified by a
-// slot+generation EventID, so Schedule/Step cycles do not grow the heap
-// and Cancel needs no per-event map entry.
 package sim
 
 import (
