@@ -14,9 +14,21 @@
 //   - allocs/tx: any fresh value above zero fails outright; the hot
 //     path is allocation-free and must stay that way.
 //
+// A third check gates the streaming fleet engine's appraisal
+// throughput (the fleet.devices_per_sec field E8 writes): the fresh
+// value must not fall below the baseline by more than
+// -max-fleet-regress (default 35% — host throughput is noisier than a
+// ns/tx ratio). With -normalize, each file's throughput is multiplied
+// by its own no-monitoring ns/tx before comparing: throughput scales
+// inversely with host speed and the reference row scales directly, so
+// the product cancels the machine out. Reports without a fleet
+// section — older artifacts, or fresh runs restricted to -only E9 —
+// skip this gate with a note instead of failing, so the check works
+// against baselines generated before the field existed.
+//
 // Usage:
 //
-//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-normalize]
+//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-normalize]
 package main
 
 import (
@@ -29,8 +41,14 @@ import (
 // benchFile mirrors the cresbench BENCH_perf.json schema (the fields
 // benchdiff consumes).
 type benchFile struct {
-	Schema string  `json:"schema"`
-	E9     benchE9 `json:"e9"`
+	Schema string     `json:"schema"`
+	E9     benchE9    `json:"e9"`
+	Fleet  benchFleet `json:"fleet"`
+}
+
+type benchFleet struct {
+	TotalDevices  int     `json:"total_devices"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
 }
 
 type benchE9 struct {
@@ -51,16 +69,17 @@ func main() {
 	basePath := flag.String("base", "BENCH_perf.json", "committed baseline report")
 	newPath := flag.String("new", "", "freshly generated report to check")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/tx regression")
+	maxFleetRegress := flag.Float64("max-fleet-regress", 0.35, "maximum tolerated fractional fleet devices/sec drop")
 	normalize := flag.Bool("normalize", false, "compare overhead ratios vs the no-monitoring row instead of raw ns/tx")
 	flag.Parse()
 
-	if err := run(*basePath, *newPath, *maxRegress, *normalize, os.Stdout); err != nil {
+	if err := run(*basePath, *newPath, *maxRegress, *maxFleetRegress, *normalize, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, newPath string, maxRegress float64, normalize bool, out *os.File) error {
+func run(basePath, newPath string, maxRegress, maxFleetRegress float64, normalize bool, out *os.File) error {
 	if newPath == "" {
 		return fmt.Errorf("-new is required")
 	}
@@ -73,6 +92,9 @@ func run(basePath, newPath string, maxRegress float64, normalize bool, out *os.F
 		return err
 	}
 	problems, lines := compare(base, fresh, maxRegress, normalize)
+	fleetProblems, fleetLines := compareFleet(base, fresh, maxFleetRegress, normalize)
+	problems = append(problems, fleetProblems...)
+	lines = append(lines, fleetLines...)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
@@ -157,6 +179,47 @@ func compare(base, fresh *benchFile, maxRegress float64, normalize bool) (proble
 			problems = append(problems, fmt.Sprintf("config %q dropped from fresh report", br.Config))
 		}
 	}
+	return problems, lines
+}
+
+// compareFleet gates the streaming fleet's appraisal throughput the
+// way compare gates E9: fresh devices/sec must not fall more than
+// maxRegress below the baseline. With normalize, each file's
+// throughput is multiplied by its own no-monitoring ns/tx — the two
+// quantities scale oppositely with host speed, so the machine cancels
+// out of the product. A report without a fleet section (an older
+// baseline, or a fresh run restricted to -only E9) skips the gate
+// with a note: the field's absence is a provenance fact, not a
+// regression.
+func compareFleet(base, fresh *benchFile, maxRegress float64, normalize bool) (problems, lines []string) {
+	if base.Fleet.DevicesPerSec <= 0 {
+		return nil, []string{"fleet gate skipped: baseline report has no fleet section"}
+	}
+	if fresh.Fleet.DevicesPerSec <= 0 {
+		return nil, []string{"fleet gate skipped: fresh report has no fleet section (select E8 when generating it)"}
+	}
+	metric := "devices/sec"
+	baseV, freshV := base.Fleet.DevicesPerSec, fresh.Fleet.DevicesPerSec
+	if normalize {
+		br, bok := findRow(base.E9.Rows, baselineConfig)
+		fr, fok := findRow(fresh.E9.Rows, baselineConfig)
+		if !bok || !fok || br.NsPerTx <= 0 || fr.NsPerTx <= 0 {
+			return []string{fmt.Sprintf("fleet gate: %q ns/tx must be present and positive in both reports to normalize", baselineConfig)}, nil
+		}
+		metric = "devices/sec × " + baselineConfig + " ns/tx"
+		baseV *= br.NsPerTx
+		freshV *= fr.NsPerTx
+	}
+	delta := freshV/baseV - 1
+	status := "ok"
+	if delta < -maxRegress {
+		status = "REGRESSION"
+		problems = append(problems, fmt.Sprintf("fleet: %s %.3f -> %.3f (%+.1f%%, limit -%.0f%%)",
+			metric, baseV, freshV, delta*100, maxRegress*100))
+	}
+	lines = append(lines,
+		fmt.Sprintf("Fleet comparison (%s, limit -%.0f%%):", metric, maxRegress*100),
+		fmt.Sprintf("  %-32s %10.3f -> %10.3f  (%+6.1f%%)  %s", "streaming-attestation", baseV, freshV, delta*100, status))
 	return problems, lines
 }
 

@@ -100,16 +100,71 @@ func TestRunEndToEnd(t *testing.T) {
 	goodPath := write("good.json", report(row("no-monitoring", 16.5, 0)))
 	badPath := write("bad.json", report(row("no-monitoring", 30, 0)))
 
-	if err := run(basePath, goodPath, 0.25, false, os.Stdout); err != nil {
+	if err := run(basePath, goodPath, 0.25, 0.35, false, os.Stdout); err != nil {
 		t.Fatalf("clean comparison failed: %v", err)
 	}
-	if err := run(basePath, badPath, 0.25, false, os.Stdout); err == nil {
+	if err := run(basePath, badPath, 0.25, 0.35, false, os.Stdout); err == nil {
 		t.Fatal("regression passed the gate")
 	}
-	if err := run(basePath, "", 0.25, false, os.Stdout); err == nil {
+	if err := run(basePath, "", 0.25, 0.35, false, os.Stdout); err == nil {
 		t.Fatal("missing -new accepted")
 	}
-	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, false, os.Stdout); err == nil {
+	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, 0.35, false, os.Stdout); err == nil {
 		t.Fatal("unreadable fresh report accepted")
+	}
+}
+
+// withFleet attaches a fleet section to a report.
+func withFleet(f *benchFile, devicesPerSec float64) *benchFile {
+	f.Fleet = benchFleet{TotalDevices: 1_000_000, DevicesPerSec: devicesPerSec}
+	return f
+}
+
+func TestCompareFleetGate(t *testing.T) {
+	base := withFleet(report(row("no-monitoring", 16, 0)), 10_000)
+
+	if problems, _ := compareFleet(base, withFleet(report(row("no-monitoring", 16, 0)), 9_000), 0.35, false); len(problems) != 0 {
+		t.Fatalf("-10%% throughput flagged: %v", problems)
+	}
+	problems, _ := compareFleet(base, withFleet(report(row("no-monitoring", 16, 0)), 5_000), 0.35, false)
+	if len(problems) != 1 || !strings.Contains(problems[0], "fleet") {
+		t.Fatalf("problems = %v, want one fleet regression for -50%% throughput", problems)
+	}
+}
+
+// TestCompareFleetNormalizedIgnoresMachineSpeed models a CI runner
+// uniformly 3x slower than the baseline host: devices/sec drops to a
+// third AND no-monitoring ns/tx triples, so the normalized product is
+// unchanged and must pass — while a genuine engine slowdown on the
+// same slow host must still be caught.
+func TestCompareFleetNormalizedIgnoresMachineSpeed(t *testing.T) {
+	base := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
+	slowHost := withFleet(report(row("no-monitoring", 48, 0)), 3_000)
+	if problems, _ := compareFleet(base, slowHost, 0.35, true); len(problems) != 0 {
+		t.Fatalf("uniform slowdown flagged under -normalize: %v", problems)
+	}
+	if problems, _ := compareFleet(base, slowHost, 0.35, false); len(problems) == 0 {
+		t.Fatal("raw comparison should flag a 3x slower host (sanity check)")
+	}
+	engineRegress := withFleet(report(row("no-monitoring", 48, 0)), 1_000)
+	if problems, _ := compareFleet(base, engineRegress, 0.35, true); len(problems) != 1 {
+		t.Fatalf("problems = %v, want one normalized fleet regression", problems)
+	}
+}
+
+// TestCompareFleetSkipsWithoutSection pins the back-compat contract:
+// a baseline generated before the fleet field existed, or a fresh
+// report from an -only E9 run, must skip the gate — not fail it.
+func TestCompareFleetSkipsWithoutSection(t *testing.T) {
+	noFleet := report(row("no-monitoring", 16, 0))
+	withF := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
+	for _, tc := range []struct{ base, fresh *benchFile }{{noFleet, withF}, {withF, noFleet}} {
+		problems, lines := compareFleet(tc.base, tc.fresh, 0.35, false)
+		if len(problems) != 0 {
+			t.Fatalf("missing fleet section treated as regression: %v", problems)
+		}
+		if len(lines) != 1 || !strings.Contains(lines[0], "skipped") {
+			t.Fatalf("lines = %v, want a single skip note", lines)
+		}
 	}
 }

@@ -30,6 +30,18 @@
 //	cresim -campaign [-plan implant-persist] [-shards 3] [-parallel N] [-seed 7]
 //	cresim -fleet 4096 [-parallel N] [-seed 7]
 //	cresim -topology ring:10 [-dwell 2ms] [-mode cres-coop] [-worm secure-probe]
+//	cresim -topology ring:10 -faults high
+//	cresim -topology star:10 -faults high -recover
+//
+// The -faults flag layers a named fault campaign (see cres.
+// DefaultFaultLevels: none, low, high) onto the topology mode's fabric:
+// seeded message drop/duplication/reordering, device crash-and-reboot
+// churn, and verifier outages. Adding -recover closes the loop: the
+// cell is run through experiment E14's contain and recover modes and
+// the comparison table is printed — quarantined devices re-attest
+// through a fleet verifier over the faulty fabric, links are restored,
+// and time-to-full-service is measured against the containment-only
+// baseline.
 package main
 
 import (
@@ -63,6 +75,10 @@ type options struct {
 	dwell    time.Duration
 	mode     string
 	worm     string
+	faults   string
+	// recoverLoop is the -recover flag ("recover" itself would shadow
+	// the builtin in any local rebinding).
+	recoverLoop bool
 }
 
 func main() {
@@ -81,6 +97,8 @@ func main() {
 	flag.DurationVar(&o.dwell, "dwell", 2*time.Millisecond, "worm infection-to-propagation delay (topology mode)")
 	flag.StringVar(&o.mode, "mode", "cres-coop", "fleet response mode: baseline, cres-isolated or cres-coop (topology mode)")
 	flag.StringVar(&o.worm, "worm", "secure-probe", "worm payload scenario (topology mode; see -list)")
+	flag.StringVar(&o.faults, "faults", "none", "fault campaign on the fabric: none, low or high (topology mode)")
+	flag.BoolVar(&o.recoverLoop, "recover", false, "run the cell through E14's contain vs recover modes and print the comparison (topology mode)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -211,28 +229,104 @@ func parseTopology(s string) (scenario.TopologySpec, error) {
 	return spec, nil
 }
 
+// oneOf rejects a flag value that is not in the valid set, naming
+// every valid value — no flag falls back to a default silently.
+func oneOf(flagName, val string, valid []string) error {
+	for _, v := range valid {
+		if v == val {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: unknown value %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
+}
+
+// attackNames lists the registered attack scenario names, for the
+// -worm usage error.
+func attackNames() []string {
+	all := attack.All()
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name()
+	}
+	return names
+}
+
+// faultLevel resolves the -faults flag against the named E14 fault
+// levels.
+func faultLevel(name string) (cres.FaultLevel, error) {
+	levels := cres.DefaultFaultLevels()
+	names := make([]string, len(levels))
+	for i, lv := range levels {
+		if lv.Name == name {
+			return lv, nil
+		}
+		names[i] = lv.Name
+	}
+	return cres.FaultLevel{}, fmt.Errorf("-faults: unknown value %q (valid: %s)", name, strings.Join(names, ", "))
+}
+
 // runSwarm is the worm-over-fleet mode: one topology, one dwell, one
 // response mode, with the full event timeline printed — the
-// interactive view of one E13 cell.
+// interactive view of one E13 cell. With -faults the fabric is lossy;
+// with -recover the cell becomes an E14 row instead.
 func runSwarm(o options) error {
 	spec, err := parseTopology(o.topology)
 	if err != nil {
 		return err
 	}
+	// Validate every topology-mode flag up front so a typo surfaces as
+	// a usage error listing the valid names, never a silent default.
+	if err := oneOf("-topology", spec.Kind, scenario.TopologyKinds()); err != nil {
+		return err
+	}
+	if err := oneOf("-mode", o.mode, cres.SwarmModes()); err != nil {
+		return err
+	}
+	if err := oneOf("-worm", o.worm, attackNames()); err != nil {
+		return err
+	}
+	level, err := faultLevel(o.faults)
+	if err != nil {
+		return err
+	}
 	spec.Seed = o.seed
-	out, err := cres.RunSwarm(spec, o.dwell, o.mode, o.worm, o.seed)
+	if o.recoverLoop {
+		return runRecovery(o, spec, level)
+	}
+	out, err := cres.RunSwarmUnderFaults(spec, o.dwell, o.mode, o.worm, o.seed, level.Spec)
 	if err != nil {
 		return err
 	}
 	c := out.Cell
-	fmt.Printf("=== %q worm over %s fleet (%d devices, dwell %v, mode %s) ===\n\n",
-		o.worm, c.Topology, spec.Size, c.Dwell, c.Mode)
+	fmt.Printf("=== %q worm over %s fleet (%d devices, dwell %v, mode %s, faults %s) ===\n\n",
+		o.worm, c.Topology, spec.Size, c.Dwell, c.Mode, level.Name)
 	for _, ev := range out.Events {
 		fmt.Printf("  %12v  %-10s %s\n", ev.At, ev.Kind, ev.Detail)
 	}
 	fmt.Printf("\ninfected: %d/%d (saved %d)  blocked hops: %d  links cut: %d\n",
 		c.Infected, spec.Size, c.Saved, c.Blocked, c.LinksCut)
 	fmt.Printf("containment after %v; %d devices informed by gossip\n", c.Containment, c.Informed)
+	return nil
+}
+
+// runRecovery closes the loop on one cell: the chosen wiring and fault
+// level run through experiment E14's contain and recover modes, and
+// the comparison row — devices saved, retries, gossip delivered versus
+// dropped, time to full service — is printed.
+func runRecovery(o options, spec scenario.TopologySpec, level cres.FaultLevel) error {
+	res, err := cres.RunE14FaultRecovery(cres.E14Config{
+		RootSeed:   o.seed,
+		Topologies: []scenario.TopologySpec{spec},
+		Dwell:      o.dwell,
+		Levels:     []cres.FaultLevel{level},
+		Payload:    o.worm,
+	}, cres.WithRunPool(harness.NewPool(o.parallel)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== closed-loop recovery: %q worm over %s fleet (%d devices, faults %s) ===\n\n",
+		o.worm, spec.Kind, spec.Size, level.Name)
+	fmt.Println(res.Table.Render())
 	return nil
 }
 

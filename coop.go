@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"cres/internal/core"
 	"cres/internal/m2m"
@@ -91,7 +92,19 @@ func (d *Device) EnableCooperation(peers ...string) error {
 		if to == from || to == d2.Origin {
 			return
 		}
-		d.Endpoint.Send(to, GossipKind, encodeDigest(d2)) //nolint:errcheck // best effort, like any gossip
+		payload := encodeDigest(d2)
+		d.Endpoint.Send(to, GossipKind, payload) //nolint:errcheck // best effort, like any gossip
+		// Redundant re-sends (SetGossipRedundancy) blunt fabric drops.
+		// Each copy is a fresh signed message with its own nonce; the
+		// receiver's severity-keyed seen map and the SSM's ingest dedup
+		// absorb whichever copies arrive beyond the first, so extra
+		// copies can never double-count evidence.
+		for k := 1; k <= d.gossipExtra; k++ {
+			k := k
+			d.Engine.MustSchedule(d.gossipBackoff(k), func() {
+				d.Endpoint.Send(to, GossipKind, payload) //nolint:errcheck // best effort, like any gossip
+			})
+		}
 	}
 
 	// Egress: own detections (first per signature, plus escalations —
@@ -128,7 +141,49 @@ func (d *Device) EnableCooperation(peers ...string) error {
 			send(p, dig, msg.From)
 		}
 	})
+
+	// Recovery hook: let ForgetPeer clear this layer's suppression
+	// state alongside the SSM's, so a re-compromised neighbour's fresh
+	// digests flow and quarantine re-arms.
+	d.coopForget = func(origin string) {
+		prefix := origin + "|"
+		for key := range seen {
+			if strings.HasPrefix(key, prefix) {
+				delete(seen, key)
+			}
+		}
+	}
 	return nil
+}
+
+// SetGossipRedundancy makes every outgoing digest copy (own detections
+// and forwards alike) be re-sent extra more times, the k-th re-send
+// delayed by backoff(k). On a lossy fabric this turns one-shot gossip
+// into bounded retry; receivers dedup, so redundancy never changes
+// evidence counts. backoff must be deterministic for reproducible
+// runs — e.g. faultmodel.Plan.Backoff — and defaults to a fixed 1ms
+// when nil. extra <= 0 switches redundancy off.
+func (d *Device) SetGossipRedundancy(extra int, backoff func(attempt int) time.Duration) {
+	if backoff == nil {
+		backoff = func(int) time.Duration { return time.Millisecond }
+	}
+	d.gossipExtra = extra
+	d.gossipBackoff = backoff
+}
+
+// ForgetPeer erases everything this device holds against a neighbour —
+// the SSM's peer threat score and suppression entries, and the
+// cooperation layer's forwarding dedup — after the fleet has verified
+// the neighbour clean. A later re-compromise then scores, gossips and
+// quarantines from scratch. Safe to call whether or not cooperation is
+// enabled.
+func (d *Device) ForgetPeer(origin string) {
+	if d.SSM != nil {
+		d.SSM.ForgetPeer(origin)
+	}
+	if d.coopForget != nil {
+		d.coopForget(origin)
+	}
 }
 
 // GossipPeers returns the peers this device gossips with (sorted), or

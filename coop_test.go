@@ -147,3 +147,82 @@ func TestEnableCooperationRequirements(t *testing.T) {
 		t.Error("network-less device enabled cooperation")
 	}
 }
+
+// dropFirstN drops the first n deliveries on every link, then passes
+// everything — the simplest lossy fabric that defeats one-shot gossip
+// but not redundant gossip.
+type dropFirstN struct{ n, seen int }
+
+func (d *dropFirstN) Fate(from, to string) m2m.Fate {
+	d.seen++
+	if d.seen <= d.n {
+		return m2m.Fate{}
+	}
+	return m2m.Fate{Deliveries: []time.Duration{0}}
+}
+
+// TestGossipRedundancySurvivesLoss: with the first copy of every
+// digest eaten by the fabric, plain gossip goes deaf but redundant
+// gossip still raises the neighbour's posture — and the duplicates the
+// redundancy creates never inflate the evidence count.
+func TestGossipRedundancySurvivesLoss(t *testing.T) {
+	eng, net, a, b := coopPair(t)
+	a.SetGossipRedundancy(2, nil)
+	// Drop the first two deliveries: the original and the first
+	// re-send. The second re-send (2ms) gets through.
+	net.SetFaultInjector(&dropFirstN{n: 2})
+	if err := Launch(a, attack.SecureProbe{}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * time.Millisecond)
+	if b.SSM.PeerDigestsIngested() == 0 {
+		t.Fatal("redundant gossip never got through the lossy fabric")
+	}
+	if net.LinkUp(a.Name, b.Name) {
+		t.Fatal("B never quarantined the compromised neighbour")
+	}
+	// Redundancy means B may receive the same digest several times once
+	// the fabric opens; the SSM must have ingested each (origin,
+	// signature, severity) at most once.
+	if got := b.SSM.PeerDigestsIngested(); got > 8 {
+		t.Fatalf("ingested %d digests — duplicates not absorbed", got)
+	}
+}
+
+// TestForgetPeerRearmsQuarantine drives a full recover-and-reinfect
+// cycle at device level: quarantine, restore+forget, re-compromise,
+// quarantine again.
+func TestForgetPeerRearmsQuarantine(t *testing.T) {
+	eng, net, a, b := coopPair(t)
+	if err := Launch(a, attack.SecureProbe{}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if net.LinkUp(a.Name, b.Name) {
+		t.Fatal("setup: link not cut")
+	}
+	// Fleet-side recovery: A is repaired and verified, B restores the
+	// link and forgets what it held against A.
+	if err := a.Recover("app-core", "fleet repair"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Responder.RestoreLink(net, b.Name, a.Name, "neighbour re-attested"); err != nil {
+		t.Fatal(err)
+	}
+	b.ForgetPeer(a.Name)
+	if b.SSM.PeerScore(a.Name) != 0 {
+		t.Fatalf("B still scores A at %v after forget", b.SSM.PeerScore(a.Name))
+	}
+	if !net.LinkUp(a.Name, b.Name) {
+		t.Fatal("link not restored")
+	}
+	// A is compromised AGAIN: the fresh outbreak must gossip and cut
+	// the link a second time.
+	if err := Launch(a, attack.SecureProbe{}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if net.LinkUp(a.Name, b.Name) {
+		t.Fatal("re-compromise did not re-quarantine the link")
+	}
+}

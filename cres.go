@@ -210,8 +210,14 @@ type Device struct {
 	spec       *scenario.CompiledDevice
 	bootReport *boot.Report
 	// gossipPeers are the cooperative-response neighbours, set by
-	// EnableCooperation (coop.go).
-	gossipPeers []string
+	// EnableCooperation (coop.go). coopForget clears one origin's entry
+	// from the cooperation layer's suppression state (nil until
+	// cooperation is enabled); gossipExtra/gossipBackoff configure
+	// redundant digest re-sends on lossy fabrics (coop.go).
+	gossipPeers   []string
+	coopForget    func(origin string)
+	gossipExtra   int
+	gossipBackoff func(attempt int) time.Duration
 }
 
 // NewDevice assembles a device from functional options over the

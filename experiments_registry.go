@@ -118,4 +118,9 @@ func init() {
 			return RunE13WormResilience(E13Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
 		},
 		func(_ *harness.Context, r *E13Result) []string { return []string{r.Table.Render()} }))
+	harness.Register("E14", timedRunner(
+		func(ctx *harness.Context) (*E14Result, error) {
+			return RunE14FaultRecovery(E14Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
+		},
+		func(_ *harness.Context, r *E14Result) []string { return []string{r.Table.Render()} }))
 }

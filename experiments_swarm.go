@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cres/internal/attack"
+	"cres/internal/faultmodel"
 	"cres/internal/harness"
 	"cres/internal/m2m"
 	"cres/internal/report"
@@ -64,6 +65,11 @@ type E13Config struct {
 	// Payload is the attack-registry scenario the worm carries
 	// (default "secure-probe").
 	Payload string
+	// Faults is the cell-level fault campaign (lossy fabric, churn).
+	// The zero spec compiles to a disabled plan and the sweep is then
+	// byte-identical to a fault-free run; E14 is the sweep that
+	// actually exercises this axis.
+	Faults scenario.FaultSpec
 	// Quick trims the sweep for smoke runs: three wirings, one dwell.
 	Quick bool
 }
@@ -185,9 +191,14 @@ func RunE13WormResilience(cfg E13Config, opts ...RunOption) (*E13Result, error) 
 		}
 	}
 
+	plan, err := cfg.Faults.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("e13: %w", err)
+	}
+
 	cells, err := harness.Map(rc.pool, len(specs), cfg.RootSeed, func(sh harness.Shard) (E13Cell, error) {
 		sp := specs[sh.Index]
-		cell, _, err := runSwarmCell(sp.topo, sp.dwell, sp.mode, payload, sh.Seed, nil)
+		cell, _, _, err := runSwarmCell(sp.topo, sp.dwell, sp.mode, payload, sh.Seed, plan, nil)
 		if err != nil {
 			return E13Cell{}, fmt.Errorf("e13 %s/f%d/%v/%s: %w", sp.topo.Spec.Kind, sp.topo.Spec.Fanout, sp.dwell, sp.mode, err)
 		}
@@ -294,6 +305,13 @@ func (s *swarmTimeline) Blocked(from, to int) {
 // the same runSwarmCell the E13 sweep uses, so the interactive numbers
 // can never drift from the table's.
 func RunSwarm(topo scenario.TopologySpec, dwell time.Duration, mode, payloadName string, seed int64) (*SwarmOutcome, error) {
+	return RunSwarmUnderFaults(topo, dwell, mode, payloadName, seed, scenario.FaultSpec{})
+}
+
+// RunSwarmUnderFaults is RunSwarm with a fault campaign layered onto
+// the fabric — the cresim -faults mode. The zero spec degenerates to
+// RunSwarm exactly.
+func RunSwarmUnderFaults(topo scenario.TopologySpec, dwell time.Duration, mode, payloadName string, seed int64, faults scenario.FaultSpec) (*SwarmOutcome, error) {
 	valid := false
 	for _, m := range SwarmModes() {
 		valid = valid || m == mode
@@ -312,11 +330,15 @@ func RunSwarm(topo scenario.TopologySpec, dwell time.Duration, mode, payloadName
 	if err != nil {
 		return nil, err
 	}
+	plan, err := faults.Compile()
+	if err != nil {
+		return nil, err
+	}
 	if dwell <= 0 {
 		dwell = attack.DefaultWormDwell
 	}
 	var tl *swarmTimeline
-	cell, rig, err := runSwarmCell(ct, dwell, mode, payload, seed, func(r *swarmRig) attack.FleetObserver {
+	cell, rig, _, err := runSwarmCell(ct, dwell, mode, payload, seed, plan, func(r *swarmRig) attack.FleetObserver {
 		tl = &swarmTimeline{rig: r, launch: r.eng.Now()}
 		return tl
 	})
@@ -432,11 +454,18 @@ func (r *swarmRig) LinkUp(i, j int) bool {
 
 // runSwarmCell runs one (wiring, dwell, mode) fleet: launch the worm
 // on patient zero, simulate until every possible propagation has long
-// expired, then read the outbreak. Both the E13 sweep and the
-// interactive RunSwarm path come through here; mkObs (may be nil)
-// builds a worm observer once the rig exists, so callers can record
-// the event timeline the sweep aggregates away.
-func runSwarmCell(topo *scenario.CompiledTopology, dwell time.Duration, mode string, payload attack.Scenario, seed int64, mkObs func(*swarmRig) attack.FleetObserver) (E13Cell, *swarmRig, error) {
+// expired, then read the outbreak. The E13 sweep, the E14 fault sweep
+// and the interactive RunSwarm path all come through here; mkObs (may
+// be nil) builds a worm observer once the rig exists, so callers can
+// record the event timeline the sweep aggregates away.
+//
+// plan (may be nil) is the cell's fault campaign. A nil or disabled
+// plan wires NOTHING — no injector, no churn, no gossip redundancy —
+// so a zero-rate fault run is byte-identical to the pre-fault
+// behaviour. An enabled plan installs the seeded fabric injector,
+// schedules the crash-and-reboot churn relative to worm launch, and
+// arms redundant gossip with the plan's deterministic backoff.
+func runSwarmCell(topo *scenario.CompiledTopology, dwell time.Duration, mode string, payload attack.Scenario, seed int64, plan *faultmodel.Plan, mkObs func(*swarmRig) attack.FleetObserver) (E13Cell, *swarmRig, *attack.Outbreak, error) {
 	cell := E13Cell{
 		Topology: topo.Spec.Kind,
 		Fanout:   topo.Spec.Fanout,
@@ -445,7 +474,25 @@ func runSwarmCell(topo *scenario.CompiledTopology, dwell time.Duration, mode str
 	}
 	rig, err := newSwarmRig(topo, mode, seed)
 	if err != nil {
-		return cell, nil, err
+		return cell, nil, nil, err
+	}
+	if plan != nil && plan.Enabled() {
+		rig.net.SetFaultInjector(plan.NewInjector())
+		for _, c := range plan.CrashSchedule(topo.Size()) {
+			c := c
+			name := swarmNodeName(c.Device)
+			rig.eng.MustSchedule(c.At, func() { rig.net.SetNodeDown(name, true) })    //nolint:errcheck // node names are the rig's own
+			rig.eng.MustSchedule(c.Back, func() { rig.net.SetNodeDown(name, false) }) //nolint:errcheck // node names are the rig's own
+		}
+		for _, dev := range rig.devs {
+			if dev.SSM == nil {
+				continue
+			}
+			dev := dev
+			dev.SetGossipRedundancy(2, func(k int) time.Duration {
+				return plan.Backoff("gossip|"+dev.Name, k)
+			})
+		}
 	}
 	var obs attack.FleetObserver
 	if mkObs != nil {
@@ -459,7 +506,7 @@ func runSwarmCell(topo *scenario.CompiledTopology, dwell time.Duration, mode str
 	}
 	outbreak, err := worm.LaunchFleet(rig, 0, obs)
 	if err != nil {
-		return cell, nil, err
+		return cell, nil, nil, err
 	}
 	// The worm's last possible hop chain is Size infections; pad for
 	// the payload's own activity and the gossip in flight.
@@ -487,5 +534,5 @@ func runSwarmCell(topo *scenario.CompiledTopology, dwell time.Duration, mode str
 			}
 		}
 	}
-	return cell, rig, nil
+	return cell, rig, outbreak, nil
 }

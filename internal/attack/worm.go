@@ -140,6 +140,7 @@ func (w Worm) LaunchFleet(f Fleet, patient int, obs FleetObserver) (*Outbreak, e
 		max:      max,
 		launch:   tgt.Engine.Now(),
 		infected: make([]bool, f.Size()),
+		ever:     make([]bool, f.Size()),
 		hops:     make([]int, f.Size()),
 	}
 	if err := o.infect(patient, 0); err != nil {
@@ -159,12 +160,21 @@ type Outbreak struct {
 	obs   FleetObserver
 	max   int
 
-	launch       sim.VirtualTime
-	infected     []bool
-	hops         []int
-	numInfected  int
-	numBlocked   int
-	lastActivity time.Duration
+	launch sim.VirtualTime
+	// infected marks devices currently compromised; ever marks devices
+	// that were compromised at least once. They diverge only when the
+	// fleet recovers devices mid-outbreak (MarkRecovered), at which
+	// point the worm may re-infect — each re-infection is a fresh hop,
+	// not a duplicate absorbed by a seen-set.
+	infected      []bool
+	ever          []bool
+	hops          []int
+	numInfected   int // currently infected
+	numEver       int // distinct devices ever infected
+	numInfections int // infection events, re-infections included
+	numRecovered  int // MarkRecovered calls that cleared an infection
+	numBlocked    int
+	lastActivity  time.Duration
 }
 
 // infect runs the payload on device i and schedules the propagation
@@ -173,12 +183,19 @@ type Outbreak struct {
 // assembled without a component the payload needs — a harness bug, so
 // it panics exactly as a deferred Staged stage would.
 func (o *Outbreak) infect(i, hop int) error {
-	if o.infected[i] || o.numInfected >= o.max {
+	// The outbreak bound counts distinct victims, so a recovered device
+	// being re-infected never re-opens an exhausted budget.
+	if o.infected[i] || (!o.ever[i] && o.numEver >= o.max) {
 		return nil
 	}
 	o.infected[i] = true
+	if !o.ever[i] {
+		o.ever[i] = true
+		o.numEver++
+	}
 	o.hops[i] = hop
 	o.numInfected++
+	o.numInfections++
 	tgt := o.fleet.Target(i)
 	o.touch(tgt)
 	if err := o.worm.Payload.Launch(tgt); err != nil {
@@ -187,12 +204,25 @@ func (o *Outbreak) infect(i, hop int) error {
 	if o.obs != nil {
 		o.obs.Infected(i, hop)
 	}
-	// Propagation: one attempt per neighbour after the dwell, each
-	// checked against the link state at that moment.
+	o.spread(i)
+	return nil
+}
+
+// spread schedules one propagation attempt per neighbour of infected
+// device i after the dwell, each checked against the link state at that
+// moment.
+func (o *Outbreak) spread(i int) {
+	tgt := o.fleet.Target(i)
+	hop := o.hops[i] + 1
 	for _, j := range o.fleet.Neighbors(i) {
 		i, j := i, j
 		tgt.Engine.MustSchedule(o.worm.dwell(), func() {
-			if o.infected[j] || o.numInfected >= o.max {
+			// A device repaired before its dwell expired no longer runs
+			// the worm: its pending propagation dies with the infection.
+			if !o.infected[i] {
+				return
+			}
+			if o.infected[j] || (!o.ever[j] && o.numEver >= o.max) {
 				return
 			}
 			if !o.fleet.LinkUp(i, j) {
@@ -203,11 +233,26 @@ func (o *Outbreak) infect(i, hop int) error {
 				}
 				return
 			}
-			if err := o.infect(j, hop+1); err != nil {
+			if err := o.infect(j, hop); err != nil {
 				panic(err)
 			}
 		})
 	}
+}
+
+// Propagate schedules a fresh round of propagation attempts from
+// device i — the re-spread a live infection mounts after its
+// neighbours recover. It is how a recovered device gets re-infected:
+// the attempt is a new hop through the topology, not a replayed event
+// a seen-set could drop. No-op when i is not currently infected.
+func (o *Outbreak) Propagate(i int) error {
+	if i < 0 || i >= len(o.infected) {
+		return fmt.Errorf("%w: device %d outside fleet of %d", ErrWormFleet, i, len(o.infected))
+	}
+	if !o.infected[i] {
+		return nil
+	}
+	o.spread(i)
 	return nil
 }
 
@@ -218,13 +263,44 @@ func (o *Outbreak) touch(tgt *Target) {
 	}
 }
 
-// Infections returns how many devices the worm compromised.
-func (o *Outbreak) Infections() int { return o.numInfected }
+// MarkRecovered clears device i's infection after the fleet repaired
+// it (re-attestation passed, firmware restored). The device becomes
+// susceptible again: a still-infected neighbour's next propagation
+// attempt re-infects it as a new hop. Returns whether the call cleared
+// an active infection. The worm's payload state on the device is the
+// caller's to clean up — this only updates the outbreak's bookkeeping.
+func (o *Outbreak) MarkRecovered(i int) bool {
+	if i < 0 || i >= len(o.infected) || !o.infected[i] {
+		return false
+	}
+	o.infected[i] = false
+	o.numInfected--
+	o.numRecovered++
+	return true
+}
+
+// Infections returns the cumulative number of infection events,
+// re-infections included. Without recovery it equals EverInfections.
+func (o *Outbreak) Infections() int { return o.numInfections }
+
+// EverInfections returns how many distinct devices the worm compromised
+// at least once.
+func (o *Outbreak) EverInfections() int { return o.numEver }
+
+// Reinfections returns how many infection events hit a device that had
+// already recovered once.
+func (o *Outbreak) Reinfections() int { return o.numInfections - o.numEver }
+
+// ActiveInfections returns how many devices are infected right now.
+func (o *Outbreak) ActiveInfections() int { return o.numInfected }
+
+// Recovered returns how many MarkRecovered calls cleared an infection.
+func (o *Outbreak) Recovered() int { return o.numRecovered }
 
 // Blocked returns how many propagation attempts found their link down.
 func (o *Outbreak) Blocked() int { return o.numBlocked }
 
-// IsInfected reports whether device i was compromised.
+// IsInfected reports whether device i is currently compromised.
 func (o *Outbreak) IsInfected(i int) bool { return o.infected[i] }
 
 // Hop returns device i's infection depth (0 for patient zero); only

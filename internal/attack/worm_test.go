@@ -175,3 +175,97 @@ func TestWormLaunchErrors(t *testing.T) {
 		t.Error("nil fleet launched")
 	}
 }
+
+// TestWormReinfectsRecoveredDevice pins the re-infection contract: a
+// recovered device is susceptible again, a still-infected neighbour's
+// next propagation re-infects it as a fresh hop, and the bookkeeping
+// separates cumulative events from distinct victims.
+func TestWormReinfectsRecoveredDevice(t *testing.T) {
+	f := newStubFleet(3)
+	// Isolate device 2 so the outbreak is exactly {0, 1}.
+	f.cut(1, 2)
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}, Dwell: time.Millisecond}
+	var rec recorder
+	o, err := w.LaunchFleet(f, 0, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(10 * time.Millisecond)
+	if o.Infections() != 2 || o.ActiveInfections() != 2 || o.EverInfections() != 2 {
+		t.Fatalf("outbreak shape: infections=%d active=%d ever=%d", o.Infections(), o.ActiveInfections(), o.EverInfections())
+	}
+
+	// Recover device 1 while 0 stays infected, then let 0 propagate
+	// again (re-launch the worm's spread by scheduling through infect's
+	// public surface: a fresh LaunchFleet is not needed — device 0's
+	// original propagation already fired, so we simulate the periodic
+	// re-propagation E14's still-infected devices produce by recovering
+	// and re-running the dwell via a second outbreak step).
+	if !o.MarkRecovered(1) {
+		t.Fatal("MarkRecovered(1) cleared nothing")
+	}
+	if o.MarkRecovered(1) {
+		t.Fatal("MarkRecovered(1) cleared twice")
+	}
+	if o.ActiveInfections() != 1 || o.Recovered() != 1 {
+		t.Fatalf("after recovery: active=%d recovered=%d", o.ActiveInfections(), o.Recovered())
+	}
+	if o.IsInfected(1) {
+		t.Fatal("recovered device still reads infected")
+	}
+
+	// A new propagation attempt from 0 re-infects 1 as a new hop: the
+	// seen-set must not absorb it, and the distinct-victim bound (3 on
+	// this fleet, unhit) must not block it.
+	if err := o.Propagate(0); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(10 * time.Millisecond)
+	if !o.IsInfected(1) {
+		t.Fatal("recovered device not re-infected")
+	}
+	if o.Infections() != 3 || o.EverInfections() != 2 || o.Reinfections() != 1 {
+		t.Fatalf("after reinfection: infections=%d ever=%d reinf=%d", o.Infections(), o.EverInfections(), o.Reinfections())
+	}
+	if o.Hop(1) != 1 {
+		t.Fatalf("re-infection hop = %d, want a fresh hop of 1", o.Hop(1))
+	}
+	if launches != 3 {
+		t.Fatalf("payload launched %d times, want 3 (re-infection re-launches)", launches)
+	}
+	// The observer saw the re-infection as a regular infection event.
+	if len(rec.infected) != 3 || rec.infected[2] != [2]int{1, 1} {
+		t.Fatalf("observer infections %v", rec.infected)
+	}
+}
+
+// TestWormReinfectionRespectsDistinctVictimBound: MaxInfections counts
+// distinct devices, so recover-and-reinfect inside the bound works, but
+// the bound still stops the worm reaching new devices.
+func TestWormReinfectionRespectsDistinctVictimBound(t *testing.T) {
+	f := newStubFleet(10)
+	launches := 0
+	w := Worm{PlanName: "w", Payload: launchCounter{&launches}, Dwell: time.Millisecond, MaxInfections: 3}
+	o, err := w.LaunchFleet(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(50 * time.Millisecond)
+	if o.EverInfections() != 3 {
+		t.Fatalf("ever=%d, want bound of 3", o.EverInfections())
+	}
+	o.MarkRecovered(1)
+	if err := o.Propagate(0); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(50 * time.Millisecond)
+	// Device 1 re-infected (already a victim), but the bound still
+	// holds: no fourth distinct device.
+	if !o.IsInfected(1) {
+		t.Fatal("in-bound re-infection blocked")
+	}
+	if o.EverInfections() != 3 || o.Reinfections() != 1 {
+		t.Fatalf("ever=%d reinf=%d after reinfection", o.EverInfections(), o.Reinfections())
+	}
+}

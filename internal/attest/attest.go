@@ -202,6 +202,7 @@ type Verifier struct {
 	entropy *cryptoutil.DeterministicEntropy
 
 	pending    map[string][]byte // device -> outstanding nonce
+	retries    uint64            // re-challenges sent (see retry.go)
 	onResult   func(Appraisal)
 	appraisals []Appraisal
 }
@@ -269,6 +270,12 @@ func (v *Verifier) onQuote(msg m2m.Message) {
 	if err := decode(msg.Payload, &qp); err != nil {
 		v.conclude(Appraisal{Device: msg.From, At: v.engine.Now(), Verdict: VerdictUntrusted, Reason: "malformed quote payload"})
 		delete(v.pending, msg.From)
+		return
+	}
+	// Stale-quote guard: under retries a late answer to a superseded
+	// challenge can still arrive. Its nonce is honest, just old — keep
+	// waiting for the current one instead of failing the appraisal.
+	if !bytes.Equal(qp.Quote.Nonce, nonce) {
 		return
 	}
 	delete(v.pending, msg.From)

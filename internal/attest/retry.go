@@ -1,0 +1,90 @@
+package attest
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// Bounded retry on top of Challenge, for fabrics that drop, duplicate
+// or reorder. Each attempt uses a fresh nonce; answering any attempt
+// concludes the appraisal, and quotes for superseded nonces are ignored
+// (see the stale-quote guard in onQuote) rather than misread as policy
+// failures. Only the final attempt's deadline concludes a timeout.
+
+// RetryPolicy bounds ChallengeWithRetry. The zero value is usable:
+// 3 attempts, 4ms per-attempt deadline, 1ms between attempts.
+type RetryPolicy struct {
+	// Attempts is the total number of challenges sent before giving up
+	// (default 3).
+	Attempts int
+	// Timeout is how long each attempt waits for a quote (default 4ms).
+	Timeout time.Duration
+	// Backoff returns the delay between the deadline of attempt n
+	// (counting from 1) and the next challenge. Supply a deterministic
+	// function — e.g. faultmodel.Plan.Backoff — to keep runs seeded;
+	// the default is a fixed 1ms.
+	Backoff func(attempt int) time.Duration
+}
+
+func (rp RetryPolicy) filled() RetryPolicy {
+	if rp.Attempts <= 0 {
+		rp.Attempts = 3
+	}
+	if rp.Timeout <= 0 {
+		rp.Timeout = 4 * time.Millisecond
+	}
+	if rp.Backoff == nil {
+		rp.Backoff = func(int) time.Duration { return time.Millisecond }
+	}
+	return rp
+}
+
+// Retries returns how many re-challenges the verifier has sent across
+// all ChallengeWithRetry calls (first attempts are not retries).
+func (v *Verifier) Retries() uint64 { return v.retries }
+
+// ChallengeWithRetry challenges a device like Challenge, but re-sends
+// up to rp.Attempts times when no quote arrives within rp.Timeout,
+// waiting rp.Backoff between attempts. The appraisal concludes exactly
+// once: VerdictTrusted/VerdictUntrusted when any attempt's quote
+// arrives, VerdictTimeout only after the last attempt's deadline. A
+// plain Challenge or another ChallengeWithRetry for the same device
+// supersedes the outstanding attempt and cancels its remaining retries.
+func (v *Verifier) ChallengeWithRetry(device string, rp RetryPolicy) error {
+	return v.attempt(device, rp.filled(), 1)
+}
+
+func (v *Verifier) attempt(device string, rp RetryPolicy, attempt int) error {
+	if err := v.Challenge(device); err != nil {
+		return err
+	}
+	nonce := v.pending[device]
+	v.engine.MustSchedule(rp.Timeout, func() {
+		if cur, ok := v.pending[device]; !ok || !bytes.Equal(cur, nonce) {
+			return // answered, or superseded by a newer challenge
+		}
+		if attempt >= rp.Attempts {
+			delete(v.pending, device)
+			v.conclude(Appraisal{
+				Device: device, At: v.engine.Now(), Verdict: VerdictTimeout,
+				Reason: fmt.Sprintf("no quote after %d attempts", rp.Attempts),
+			})
+			return
+		}
+		v.retries++
+		v.engine.MustSchedule(rp.Backoff(attempt), func() {
+			if cur, ok := v.pending[device]; !ok || !bytes.Equal(cur, nonce) {
+				return
+			}
+			if err := v.attempt(device, rp, attempt+1); err != nil {
+				delete(v.pending, device)
+				v.conclude(Appraisal{
+					Device: device, At: v.engine.Now(), Verdict: VerdictTimeout,
+					Reason: fmt.Sprintf("re-challenge failed: %v", err),
+				})
+			}
+		})
+	})
+	return nil
+}

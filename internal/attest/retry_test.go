@@ -1,0 +1,140 @@
+package attest
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/m2m"
+)
+
+// fateFn adapts a function to m2m.FaultInjector for the retry tests.
+type fateFn func(from, to string) m2m.Fate
+
+func (f fateFn) Fate(from, to string) m2m.Fate { return f(from, to) }
+
+func TestRetryRecoversFromDroppedChallenge(t *testing.T) {
+	f := newFixture(t, 1)
+	// Drop the first verifier->device message; everything else flows.
+	var toDevice int
+	f.net.SetFaultInjector(fateFn(func(from, to string) m2m.Fate {
+		if from == "verifier" {
+			toDevice++
+			if toDevice == 1 {
+				return m2m.Fate{}
+			}
+		}
+		return m2m.Fate{Deliveries: []time.Duration{0}}
+	}))
+	if err := f.verifier.ChallengeWithRetry("device-0", RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(20 * time.Millisecond)
+	if len(f.results) != 1 || f.results[0].Verdict != VerdictTrusted {
+		t.Fatalf("results = %+v", f.results)
+	}
+	if f.verifier.Retries() != 1 {
+		t.Fatalf("retries = %d, want 1", f.verifier.Retries())
+	}
+	if f.verifier.Pending() != 0 {
+		t.Fatal("challenge still pending")
+	}
+}
+
+func TestRetryTimesOutAfterLastAttempt(t *testing.T) {
+	f := newFixture(t, 1)
+	// A black hole towards the device: every attempt is lost.
+	f.net.SetFaultInjector(fateFn(func(from, to string) m2m.Fate {
+		if from == "verifier" {
+			return m2m.Fate{}
+		}
+		return m2m.Fate{Deliveries: []time.Duration{0}}
+	}))
+	if err := f.verifier.ChallengeWithRetry("device-0", RetryPolicy{Attempts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(50 * time.Millisecond)
+	if len(f.results) != 1 || f.results[0].Verdict != VerdictTimeout {
+		t.Fatalf("results = %+v", f.results)
+	}
+	if f.verifier.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2 (first attempt is not a retry)", f.verifier.Retries())
+	}
+	if f.verifier.Pending() != 0 {
+		t.Fatal("challenge still pending after final timeout")
+	}
+}
+
+// TestStaleQuoteIgnored pins the stale-quote guard: a quote answering a
+// superseded challenge arrives while a newer nonce is outstanding. It
+// must be ignored — not appraised against the newer nonce, which would
+// spuriously conclude VerdictUntrusted.
+func TestStaleQuoteIgnored(t *testing.T) {
+	f := newFixture(t, 1)
+	var toDevice, fromDevice int
+	f.net.SetFaultInjector(fateFn(func(from, to string) m2m.Fate {
+		if from == "verifier" {
+			toDevice++
+			if toDevice == 2 {
+				return m2m.Fate{} // the retry is lost
+			}
+			return m2m.Fate{Deliveries: []time.Duration{0}}
+		}
+		fromDevice++
+		if fromDevice == 1 {
+			// The first quote crawls: it arrives at ~4ms, inside the
+			// second attempt's window (3ms..5ms) when nonce 2 is pending.
+			return m2m.Fate{Deliveries: []time.Duration{3 * time.Millisecond}}
+		}
+		return m2m.Fate{Deliveries: []time.Duration{0}}
+	}))
+	rp := RetryPolicy{Attempts: 3, Timeout: 2 * time.Millisecond, Backoff: func(int) time.Duration { return time.Millisecond }}
+	if err := f.verifier.ChallengeWithRetry("device-0", rp); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(30 * time.Millisecond)
+	if len(f.results) != 1 {
+		t.Fatalf("results = %+v", f.results)
+	}
+	if f.results[0].Verdict != VerdictTrusted {
+		t.Fatalf("verdict = %v (%s), want trusted via the third attempt", f.results[0].Verdict, f.results[0].Reason)
+	}
+	if f.verifier.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", f.verifier.Retries())
+	}
+}
+
+// TestRetrySupersededByNewChallenge: a fresh Challenge for the same
+// device takes over the pending slot; the older attempt's deadline must
+// not conclude anything or spawn retries.
+func TestRetrySupersededByNewChallenge(t *testing.T) {
+	f := newFixture(t, 1)
+	// Silence the device so only timeouts can conclude.
+	f.net.SetFaultInjector(fateFn(func(from, to string) m2m.Fate {
+		if from == "verifier" {
+			return m2m.Fate{}
+		}
+		return m2m.Fate{Deliveries: []time.Duration{0}}
+	}))
+	rp := RetryPolicy{Attempts: 2, Timeout: 5 * time.Millisecond}
+	if err := f.verifier.ChallengeWithRetry("device-0", rp); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(time.Millisecond)
+	// Supersede before the first deadline.
+	if err := f.verifier.Challenge("device-0"); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunFor(30 * time.Millisecond)
+	// The superseded attempt spawned no retries; the plain challenge has
+	// no deadline of its own, so nothing concluded and it is still
+	// pending until TimeoutPending.
+	if f.verifier.Retries() != 0 {
+		t.Fatalf("superseded attempt retried: %d", f.verifier.Retries())
+	}
+	if len(f.results) != 0 {
+		t.Fatalf("results = %+v", f.results)
+	}
+	if f.verifier.Pending() != 1 {
+		t.Fatalf("pending = %d", f.verifier.Pending())
+	}
+}

@@ -106,6 +106,23 @@ func (s *SSM) IngestPeerDigest(d PeerDigest) {
 	}
 }
 
+// ForgetPeer erases a neighbour's accumulated threat state: its score
+// and every (origin, signature) suppression entry. Called when the
+// fleet verifies the neighbour clean again (re-attestation passed), so
+// that a LATER compromise of the same neighbour scores and fires the
+// peer-threat hook from scratch instead of being suppressed as a
+// replay of the recovered outbreak. This device's own posture is not
+// lowered — evidence already acted on stays acted on.
+func (s *SSM) ForgetPeer(origin string) {
+	delete(s.peerScores, origin)
+	prefix := origin + "|"
+	for key := range s.peerSeen {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(s.peerSeen, key)
+		}
+	}
+}
+
 // maybePublishDigest shares a detection with the fleet: once when a
 // signature is first seen at Warning or above, and once more if it
 // later ESCALATES past its first-seen severity to Critical (e.g. auth

@@ -201,3 +201,111 @@ func TestDigestPublisherRepublishesOnEscalation(t *testing.T) {
 		t.Fatalf("escalated digest carries At=%v, want the escalating alert's time 8", got[1].At)
 	}
 }
+
+// TestIngestPeerDigestIdempotentUnderFabricFaults pins the E14
+// idempotence contract: a lossy fabric may deliver the same digest
+// many times and out of order, and none of that may change the
+// evidence count, the peer score, or how often the threat hook fires.
+func TestIngestPeerDigestIdempotentUnderFabricFaults(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	fired := 0
+	s.SetPeerThreatHandler(func(PeerDigest) { fired++ })
+	warn := PeerDigest{Origin: "node-01", Signature: "net.auth-failure", Severity: monitor.Warning, At: 10}
+	crit := PeerDigest{Origin: "node-01", Signature: "bus.security-fault", Severity: monitor.Critical, At: 20}
+	// Clean sequence once.
+	s.IngestPeerDigest(warn)
+	s.IngestPeerDigest(crit)
+	score := s.PeerScore("node-01")
+	ingested := s.PeerDigestsIngested()
+	records := len(s.Log().Window(0, 1<<40))
+	if fired != 1 || score <= 0 {
+		t.Fatalf("clean sequence: fired=%d score=%v", fired, score)
+	}
+	// The fabric now replays the pair 10 times in every order,
+	// including the Critical digest arriving before the Warning one.
+	for i := 0; i < 10; i++ {
+		s.IngestPeerDigest(crit)
+		s.IngestPeerDigest(warn)
+	}
+	if got := s.PeerScore("node-01"); got != score {
+		t.Fatalf("score drifted under duplication: %v -> %v", score, got)
+	}
+	if got := s.PeerDigestsIngested(); got != ingested {
+		t.Fatalf("evidence count drifted under duplication: %d -> %d", ingested, got)
+	}
+	if got := len(s.Log().Window(0, 1<<40)); got != records {
+		t.Fatalf("evidence log grew under duplication: %d -> %d", records, got)
+	}
+	if fired != 1 {
+		t.Fatalf("threat hook re-fired under duplication: %d", fired)
+	}
+	// A reordered FIRST contact is fine too: on a fresh SSM the
+	// Critical digest arriving before the Warning one must end at the
+	// same score.
+	_, s2 := gossipSSM(t, Config{})
+	s2.IngestPeerDigest(crit)
+	s2.IngestPeerDigest(warn)
+	if got := s2.PeerScore("node-01"); got != score {
+		t.Fatalf("reordered first contact scored %v, want %v", got, score)
+	}
+}
+
+// TestForgetPeerResetsThreatState: after the fleet verifies a
+// neighbour clean, ForgetPeer must let a LATER compromise of the same
+// neighbour score and fire the hook from scratch.
+func TestForgetPeerResetsThreatState(t *testing.T) {
+	_, s := gossipSSM(t, Config{})
+	fired := 0
+	s.SetPeerThreatHandler(func(PeerDigest) { fired++ })
+	d := PeerDigest{Origin: "node-01", Signature: "bus.security-fault", Severity: monitor.Critical, At: 10}
+	s.IngestPeerDigest(d)
+	if fired != 1 || s.PeerScore("node-01") <= 0 {
+		t.Fatalf("setup: fired=%d score=%v", fired, s.PeerScore("node-01"))
+	}
+	s.ForgetPeer("node-01")
+	if s.PeerScore("node-01") != 0 {
+		t.Fatalf("score survives ForgetPeer: %v", s.PeerScore("node-01"))
+	}
+	// Re-compromise after recovery: same signature, fresh outbreak.
+	d.At = 50
+	s.IngestPeerDigest(d)
+	if fired != 2 {
+		t.Fatalf("re-compromise did not re-fire the hook: fired=%d", fired)
+	}
+	if s.PeerScore("node-01") <= 0 {
+		t.Fatal("re-compromise did not re-score")
+	}
+	// Other peers' state is untouched by a targeted forget.
+	s.IngestPeerDigest(PeerDigest{Origin: "node-02", Signature: "cfi.invalid-edge", Severity: monitor.Critical, At: 60})
+	before := s.PeerScore("node-02")
+	s.ForgetPeer("node-01")
+	if s.PeerScore("node-02") != before {
+		t.Fatal("ForgetPeer(node-01) touched node-02")
+	}
+}
+
+// TestMarkRecoveredRearmsDigestPublishing: a device that detects,
+// publishes, recovers and is then RE-infected must gossip the fresh
+// detection instead of treating it as already-published.
+func TestMarkRecoveredRearmsDigestPublishing(t *testing.T) {
+	_, s := gossipSSM(t, Config{DeviceName: "node-00"})
+	var got []PeerDigest
+	s.SetDigestPublisher(func(d PeerDigest) { got = append(got, d) })
+	alert := monitor.Alert{
+		At: 5, Monitor: "bus-monitor", Resource: "app-core",
+		Severity: monitor.Critical, Signature: "bus.security-fault", Detail: "probe",
+	}
+	s.HandleAlert(alert)
+	if len(got) != 1 {
+		t.Fatalf("published %d digests before recovery", len(got))
+	}
+	s.MarkRecovered("firmware restored")
+	alert.At = 50
+	s.HandleAlert(alert)
+	if len(got) != 2 {
+		t.Fatalf("re-infection after recovery published %d digests, want 2", len(got))
+	}
+	if got[1].At != 50 {
+		t.Fatalf("republished digest carries At=%v, want 50", got[1].At)
+	}
+}

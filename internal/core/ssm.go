@@ -273,10 +273,13 @@ func (s *SSM) RecordRecovery(detail string) {
 }
 
 // MarkRecovered declares recovery complete: scores reset, plays re-armed,
-// state healthy.
+// state healthy. The publish gate resets with them — if the device is
+// re-infected after recovery, the fresh detection must gossip again
+// rather than be absorbed as a repeat of the pre-recovery outbreak.
 func (s *SSM) MarkRecovered(detail string) {
 	s.scores = make(map[string]float64)
 	s.fired = make(map[string]bool)
+	s.sigPublished = nil
 	s.log.Append(s.engine.Now(), "ssm", evidence.KindRecovery, "recovered: "+detail)
 	s.setState(StateHealthy)
 }

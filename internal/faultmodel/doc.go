@@ -1,0 +1,21 @@
+// Package faultmodel is the deterministic fault-injection layer of the
+// simulator: a seeded Plan describing per-link loss, duplication and
+// reordering, per-device crash-and-reboot churn, and verifier outage
+// windows, plus the deterministic retry backoff the recovery protocols
+// share.
+//
+// Every fault is a pure function of (seed, link or device index, draw
+// counter): the Plan derives one root per fault purpose with
+// harness.ShardSeed and expands each root with the SplitMix64 finalizer,
+// exactly like the topology compiler derives random chords. Nothing in
+// this package touches a sim.Engine RNG, so attaching a Plan whose rates
+// are all zero is a true no-op — the event sequence of a faulted network
+// with zero rates is byte-identical to one with no fault layer at all,
+// and a non-zero Plan perturbs only the links it actually fires on.
+//
+// Plans are immutable after construction and safe to share across
+// harness shards; the mutable per-run draw counters live in the
+// Injector each network attaches (see NewInjector). Plans are normally
+// compiled from a validating scenario.FaultSpec, the same way device
+// and topology specs compile.
+package faultmodel

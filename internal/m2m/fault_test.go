@@ -1,0 +1,185 @@
+package m2m
+
+import (
+	"testing"
+	"time"
+
+	"cres/internal/sim"
+)
+
+// fateFunc adapts a function to the FaultInjector interface.
+type fateFunc func(from, to string) Fate
+
+func (f fateFunc) Fate(from, to string) Fate { return f(from, to) }
+
+func TestFaultInjectorIdentityIsNoOp(t *testing.T) {
+	run := func(fi FaultInjector) ([]sim.VirtualTime, Stats) {
+		e := sim.New(5)
+		n := NewNetwork(e, Config{})
+		a, _ := n.AddNode("a", key(t, 1))
+		b, _ := n.AddNode("b", key(t, 2))
+		b.Trust("a", a.PublicKey())
+		n.SetFaultInjector(fi)
+		var at []sim.VirtualTime
+		b.Handle("", func(Message) { at = append(at, e.Now()) })
+		for i := 0; i < 20; i++ {
+			a.Send("b", "x", []byte{byte(i)})
+			e.RunFor(100 * time.Microsecond)
+		}
+		e.RunFor(5 * time.Millisecond)
+		return at, n.Stats()
+	}
+	bare, bareStats := run(nil)
+	ident, identStats := run(fateFunc(func(string, string) Fate {
+		return Fate{Deliveries: []time.Duration{0}}
+	}))
+	if len(bare) != len(ident) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(bare), len(ident))
+	}
+	for i := range bare {
+		if bare[i] != ident[i] {
+			t.Fatalf("delivery %d at %v with injector, %v without", i, ident[i], bare[i])
+		}
+	}
+	if bareStats != identStats {
+		t.Fatalf("stats differ:\n%+v\n%+v", bareStats, identStats)
+	}
+}
+
+func TestFaultInjectorDrop(t *testing.T) {
+	e, n, a, b := pair(t, Config{})
+	n.SetFaultInjector(fateFunc(func(string, string) Fate { return Fate{} }))
+	var got int
+	b.Handle("", func(Message) { got++ })
+	a.Send("verifier", "x", nil)
+	e.RunFor(2 * time.Millisecond)
+	if got != 0 {
+		t.Fatal("dropped delivery arrived")
+	}
+	st := n.Stats()
+	if st.FaultDropped != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if ks := n.KindStats("x"); ks.Sent != 1 || ks.Dropped != 1 || ks.Delivered != 0 {
+		t.Fatalf("kind stats = %+v", ks)
+	}
+}
+
+func TestFaultInjectorDuplicateSuppressedSilently(t *testing.T) {
+	e, n, a, b := pair(t, Config{})
+	n.SetFaultInjector(fateFunc(func(string, string) Fate {
+		return Fate{Deliveries: []time.Duration{0, 300 * time.Microsecond}}
+	}))
+	var got int
+	b.Handle("", func(Message) { got++ })
+	a.Send("verifier", "x", []byte("p"))
+	e.RunFor(3 * time.Millisecond)
+	if got != 1 {
+		t.Fatalf("delivered %d times, want exactly once", got)
+	}
+	st := n.Stats()
+	if st.FaultCopies != 1 || st.Duplicated != 1 || st.Replayed != 0 || st.AuthFail != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if b.Rejected() != 0 {
+		t.Fatal("benign duplicate counted as rejection")
+	}
+}
+
+func TestFaultInjectorReorderStillAccepted(t *testing.T) {
+	e, n, a, b := pair(t, Config{})
+	// Delay only the first message, so the second overtakes it.
+	var sends int
+	n.SetFaultInjector(fateFunc(func(string, string) Fate {
+		sends++
+		if sends == 1 {
+			return Fate{Deliveries: []time.Duration{2 * time.Millisecond}}
+		}
+		return Fate{Deliveries: []time.Duration{0}}
+	}))
+	var order []string
+	b.Handle("", func(m Message) { order = append(order, string(m.Payload)) })
+	a.Send("verifier", "x", []byte("first"))
+	a.Send("verifier", "x", []byte("second"))
+	e.RunFor(5 * time.Millisecond)
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("order = %v, want the overtaken message still accepted", order)
+	}
+	if st := n.Stats(); st.Replayed != 0 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNodeDownDropsAtDeliveryTime(t *testing.T) {
+	e, n, a, b := pair(t, Config{})
+	var got int
+	b.Handle("", func(Message) { got++ })
+	// In flight when the destination dies: dropped.
+	a.Send("verifier", "x", nil)
+	if err := n.SetNodeDown("verifier", true); err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(2 * time.Millisecond)
+	// Sent while down: dropped too.
+	a.Send("verifier", "x", nil)
+	e.RunFor(2 * time.Millisecond)
+	if got != 0 {
+		t.Fatal("delivery to a down node")
+	}
+	if st := n.Stats(); st.Offline != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Reboot: traffic flows again.
+	if err := n.SetNodeDown("verifier", false); err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeDown("verifier") {
+		t.Fatal("still down after reboot")
+	}
+	a.Send("verifier", "x", nil)
+	e.RunFor(2 * time.Millisecond)
+	if got != 1 {
+		t.Fatal("delivery after reboot failed")
+	}
+	if err := n.SetNodeDown("nobody", true); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+// TestQuarantineRestoreCycle pins the fabric half of link recovery: a
+// restored link delivers again, Quarantined stops incrementing, and a
+// second quarantine→restore cycle behaves identically to the first.
+func TestQuarantineRestoreCycle(t *testing.T) {
+	e, n, a, b := pair(t, Config{})
+	var got int
+	b.Handle("", func(Message) { got++ })
+
+	send := func() {
+		a.Send("verifier", "x", nil)
+		e.RunFor(2 * time.Millisecond)
+	}
+	for cycle := 1; cycle <= 2; cycle++ {
+		if err := n.QuarantineLink("device-1", "verifier"); err != nil {
+			t.Fatal(err)
+		}
+		send()
+		want := uint64(cycle)
+		if st := n.Stats(); st.Quarantined != want {
+			t.Fatalf("cycle %d: quarantined = %d, want %d", cycle, st.Quarantined, want)
+		}
+		if err := n.RestoreLink("device-1", "verifier"); err != nil {
+			t.Fatal(err)
+		}
+		if !n.LinkUp("device-1", "verifier") {
+			t.Fatalf("cycle %d: link still down after restore", cycle)
+		}
+		send()
+		if got != cycle {
+			t.Fatalf("cycle %d: restored link delivered %d messages", cycle, got)
+		}
+		// Quarantined must NOT keep incrementing once restored.
+		if st := n.Stats(); st.Quarantined != want {
+			t.Fatalf("cycle %d: quarantined grew after restore: %d", cycle, st.Quarantined)
+		}
+	}
+}

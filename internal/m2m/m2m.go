@@ -25,11 +25,16 @@ type Message struct {
 	Signature []byte
 }
 
-// body returns the deterministic signed encoding.
-func (m *Message) body() []byte {
+// digest returns the deterministic signed digest of the message body.
+func (m *Message) digest() cryptoutil.Digest {
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], m.Nonce)
-	d := cryptoutil.SumAll([]byte(m.From), []byte(m.To), []byte(m.Kind), n[:], m.Payload)
+	return cryptoutil.SumAll([]byte(m.From), []byte(m.To), []byte(m.Kind), n[:], m.Payload)
+}
+
+// body returns the deterministic signed encoding.
+func (m *Message) body() []byte {
+	d := m.digest()
 	return d[:]
 }
 
@@ -60,6 +65,36 @@ type Stats struct {
 	// Quarantined counts messages dropped by a link quarantine gate
 	// (see Network.QuarantineLink).
 	Quarantined uint64
+	// FaultDropped counts deliveries the fault injector erased;
+	// FaultCopies the extra copies it injected.
+	FaultDropped uint64
+	FaultCopies  uint64
+	// Offline counts deliveries dropped because an endpoint was down
+	// (see Network.SetNodeDown).
+	Offline uint64
+	// Duplicated counts byte-identical repeats an endpoint silently
+	// absorbed — link-level noise, not an attack (see Endpoint.deliver).
+	Duplicated uint64
+}
+
+// KindStats counts one message kind's fabric-level outcomes: sends,
+// verified deliveries, and drops that never reached the endpoint (loss,
+// fault erasure, quarantine gates, offline nodes, in-flight MITM drops).
+type KindStats struct {
+	Sent, Delivered, Dropped uint64
+}
+
+// Fate is a fault injector's decision about one delivery: one entry per
+// copy to deliver, each the extra delay beyond the fabric latency. An
+// empty fate drops the delivery; {0} is the identity.
+type Fate struct {
+	Deliveries []time.Duration
+}
+
+// FaultInjector decides the fate of each delivery crossing a link. The
+// faultmodel package provides the seeded implementation.
+type FaultInjector interface {
+	Fate(from, to string) Fate
 }
 
 // Network is the simulated M2M fabric. Create with NewNetwork.
@@ -74,7 +109,15 @@ type Network struct {
 	// quarantined marks links cut by the cooperative response layer;
 	// keyed by linkKey (see topology.go). Lazily allocated.
 	quarantined map[string]bool
-	stats       Stats
+	// faults, when non-nil, decides each delivery's fate (drop, delay,
+	// duplicate). Nil means the fabric is perfect, as before.
+	faults FaultInjector
+	// down marks endpoints that crashed and have not rebooted; messages
+	// to or from a down node are dropped at delivery time. Lazily
+	// allocated.
+	down  map[string]bool
+	kinds map[string]*KindStats
+	stats Stats
 }
 
 // NewNetwork creates a network.
@@ -88,8 +131,51 @@ func NewNetwork(engine *sim.Engine, cfg Config) *Network {
 // Stats returns a copy of the counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// KindStats returns the fabric-level counters of one message kind.
+func (n *Network) KindStats(kind string) KindStats {
+	if ks := n.kinds[kind]; ks != nil {
+		return *ks
+	}
+	return KindStats{}
+}
+
+// kind returns the mutable counter record of a message kind.
+func (n *Network) kind(kind string) *KindStats {
+	ks := n.kinds[kind]
+	if ks == nil {
+		if n.kinds == nil {
+			n.kinds = make(map[string]*KindStats)
+		}
+		ks = &KindStats{}
+		n.kinds[kind] = ks
+	}
+	return ks
+}
+
 // SetMITM installs (or clears) the man-in-the-middle interposer.
 func (n *Network) SetMITM(fn func(Message) *Message) { n.mitm = fn }
+
+// SetFaultInjector installs (or clears) the fabric fault layer. An
+// injector whose fates are all the identity leaves delivery
+// byte-identical to a nil injector.
+func (n *Network) SetFaultInjector(fi FaultInjector) { n.faults = fi }
+
+// SetNodeDown marks an endpoint crashed (down=true) or rebooted
+// (down=false). Deliveries touching a down node are dropped at delivery
+// time — a message in flight when its peer dies is lost with it.
+func (n *Network) SetNodeDown(name string, down bool) error {
+	if _, ok := n.nodes[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if n.down == nil {
+		n.down = make(map[string]bool)
+	}
+	n.down[name] = down
+	return nil
+}
+
+// NodeDown reports whether an endpoint is currently crashed.
+func (n *Network) NodeDown(name string) bool { return n.down[name] }
 
 // AddNode registers an endpoint with its signing identity.
 func (n *Network) AddNode(name string, key *cryptoutil.KeyPair) (*Endpoint, error) {
@@ -97,12 +183,12 @@ func (n *Network) AddNode(name string, key *cryptoutil.KeyPair) (*Endpoint, erro
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, name)
 	}
 	ep := &Endpoint{
-		name:      name,
-		net:       n,
-		key:       key,
-		peers:     make(map[string]cryptoutil.PublicKey),
-		lastNonce: make(map[string]uint64),
-		handlers:  make(map[string]Handler),
+		name:     name,
+		net:      n,
+		key:      key,
+		peers:    make(map[string]cryptoutil.PublicKey),
+		seen:     make(map[string]map[uint64]cryptoutil.Digest),
+		handlers: make(map[string]Handler),
 	}
 	n.nodes[name] = ep
 	return ep, nil
@@ -119,11 +205,18 @@ type Handler func(msg Message)
 
 // Endpoint is one network participant.
 type Endpoint struct {
-	name      string
-	net       *Network
-	key       *cryptoutil.KeyPair
-	peers     map[string]cryptoutil.PublicKey
-	lastNonce map[string]uint64
+	name  string
+	net   *Network
+	key   *cryptoutil.KeyPair
+	peers map[string]cryptoutil.PublicKey
+	// seen maps sender -> nonce -> accepted body digest. Accepting any
+	// unseen nonce (not just increasing ones) tolerates fabric
+	// reordering; remembering the digest lets a byte-identical repeat —
+	// link-level duplication — be absorbed silently, while a nonce
+	// reused for DIFFERENT content is still flagged as a replay attack.
+	// Memory grows with accepted messages, which a simulation run
+	// bounds.
+	seen      map[string]map[uint64]cryptoutil.Digest
 	handlers  map[string]Handler
 	netmon    *monitor.NetMonitor
 	sendNonce uint64
@@ -176,41 +269,70 @@ func (e *Endpoint) Send(to, kind string, payload []byte) error {
 	return nil
 }
 
-// transmit schedules delivery. The quarantine gate is checked at
-// delivery time, not send time: a message already in flight when the
-// link is cut is dropped too, like a frame on a line that just went
-// down.
+// transmit schedules delivery. The quarantine gate and the node-down
+// gate are checked at delivery time, not send time: a message already
+// in flight when the link is cut — or when its peer crashes — is
+// dropped too, like a frame on a line that just went down.
 func (n *Network) transmit(msg Message) {
 	n.stats.Sent++
+	ks := n.kind(msg.Kind)
+	ks.Sent++
 	if n.cfg.Loss > 0 && n.engine.RNG().Float64() < n.cfg.Loss {
 		n.stats.Lost++
+		ks.Dropped++
 		return
 	}
-	n.engine.MustSchedule(n.cfg.Latency, func() {
-		if !n.LinkUp(msg.From, msg.To) {
-			n.stats.Quarantined++
+	copies := onTimeDelivery
+	if n.faults != nil {
+		fate := n.faults.Fate(msg.From, msg.To)
+		copies = fate.Deliveries
+		if len(copies) == 0 {
+			n.stats.FaultDropped++
+			ks.Dropped++
 			return
 		}
-		m := msg
-		if n.mitm != nil {
-			out := n.mitm(m)
-			if out == nil {
-				n.stats.Lost++
+		if extra := len(copies) - 1; extra > 0 {
+			n.stats.FaultCopies += uint64(extra)
+		}
+	}
+	for _, extra := range copies {
+		n.engine.MustSchedule(n.cfg.Latency+extra, func() {
+			if !n.LinkUp(msg.From, msg.To) {
+				n.stats.Quarantined++
+				ks.Dropped++
 				return
 			}
-			if !equalMsg(*out, m) {
-				n.stats.Tampered++
+			if n.down[msg.From] || n.down[msg.To] {
+				n.stats.Offline++
+				ks.Dropped++
+				return
 			}
-			m = *out
-		}
-		dst, ok := n.nodes[m.To]
-		if !ok {
-			n.stats.Lost++
-			return
-		}
-		dst.deliver(m)
-	})
+			m := msg
+			if n.mitm != nil {
+				out := n.mitm(m)
+				if out == nil {
+					n.stats.Lost++
+					ks.Dropped++
+					return
+				}
+				if !equalMsg(*out, m) {
+					n.stats.Tampered++
+				}
+				m = *out
+			}
+			dst, ok := n.nodes[m.To]
+			if !ok {
+				n.stats.Lost++
+				ks.Dropped++
+				return
+			}
+			dst.deliver(m)
+		})
+	}
 }
+
+// onTimeDelivery is the unfaulted delivery schedule: one copy, on time.
+var onTimeDelivery = []time.Duration{0}
 
 func equalMsg(a, b Message) bool {
 	if a.From != b.From || a.To != b.To || a.Kind != b.Kind || a.Nonce != b.Nonce {
@@ -252,17 +374,29 @@ func (e *Endpoint) deliver(msg Message) {
 		}
 		return
 	}
-	if msg.Nonce <= e.lastNonce[msg.From] {
+	digest := msg.digest()
+	if prior, dup := e.seen[msg.From][msg.Nonce]; dup {
+		if prior == digest {
+			// A byte-identical repeat of an accepted message: link-level
+			// duplication, not an attack. Absorb it silently so a lossy
+			// fabric's redundancy never raises the security posture.
+			e.net.stats.Duplicated++
+			return
+		}
 		e.rejected++
 		e.net.stats.Replayed++
 		if e.netmon != nil {
-			e.netmon.ObserveReplay(msg.From, fmt.Sprintf("nonce %d <= %d on %s", msg.Nonce, e.lastNonce[msg.From], msg.Kind))
+			e.netmon.ObserveReplay(msg.From, fmt.Sprintf("nonce %d reused with different content on %s", msg.Nonce, msg.Kind))
 		}
 		return
 	}
-	e.lastNonce[msg.From] = msg.Nonce
+	if e.seen[msg.From] == nil {
+		e.seen[msg.From] = make(map[uint64]cryptoutil.Digest)
+	}
+	e.seen[msg.From][msg.Nonce] = digest
 	e.received++
 	e.net.stats.Delivered++
+	e.net.kind(msg.Kind).Delivered++
 	if e.netmon != nil {
 		e.netmon.ObserveMessage(msg.From)
 	}

@@ -169,15 +169,31 @@ func TestReplayRejected(t *testing.T) {
 	if got != 1 {
 		t.Fatalf("original not delivered: got=%d", got)
 	}
-	// Replay the captured message verbatim.
+	// Replay the captured message verbatim: a byte-identical repeat is
+	// indistinguishable from link-level duplication, so it is absorbed
+	// silently — not delivered twice, but not an alert either.
 	n.SetMITM(nil)
 	n.transmit(*captured)
 	e.RunFor(2 * time.Millisecond)
 	if got != 1 {
 		t.Fatal("replay delivered")
 	}
-	if n.Stats().Replayed != 1 {
-		t.Fatalf("stats = %+v", n.Stats())
+	if st := n.Stats(); st.Duplicated != 1 || st.Replayed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A nonce reused for DIFFERENT content is a real replay-splice:
+	// rejected and flagged. (The attacker holds a's key here to make the
+	// signature valid — the nonce check is the only line of defence.)
+	forged := *captured
+	forged.Payload = []byte("49Hz")
+	forged.Signature = key(t, 1).Sign(forged.body())
+	n.transmit(forged)
+	e.RunFor(2 * time.Millisecond)
+	if got != 1 {
+		t.Fatal("forged same-nonce message delivered")
+	}
+	if st := n.Stats(); st.Replayed != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 

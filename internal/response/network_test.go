@@ -1,0 +1,132 @@
+package response
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/m2m"
+	"cres/internal/sim"
+)
+
+// netRig builds a manager plus a two-node m2m network so the
+// cooperative countermeasures have a real fabric to cut and restore.
+func netRig(t *testing.T) (*sim.Engine, *m2m.Network, *Manager, *[]Action, func() int) {
+	t.Helper()
+	e := sim.New(1)
+	net := m2m.NewNetwork(e, m2m.Config{})
+	mk := func(b byte) *cryptoutil.KeyPair {
+		k, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{b}, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a, err := net.AddNode("local", mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode("peer", mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Trust("peer", b.PublicKey())
+	b.Trust("local", a.PublicKey())
+	var got int
+	b.Handle("", func(m2m.Message) { got++ })
+	var actions []Action
+	m := NewManager(e, nil, nil, func(ac Action) { actions = append(actions, ac) })
+	send := func() int {
+		a.Send("peer", "ping", nil)
+		e.RunFor(2 * time.Millisecond)
+		return got
+	}
+	return e, net, m, &actions, send
+}
+
+func TestQuarantineRestoreLinkCycle(t *testing.T) {
+	_, net, m, actions, send := netRig(t)
+	if send() != 1 {
+		t.Fatal("baseline delivery failed")
+	}
+	for cycle := 1; cycle <= 2; cycle++ {
+		if err := m.QuarantineLink(net, "local", "peer", "peer compromised"); err != nil {
+			t.Fatal(err)
+		}
+		if got := send(); got != cycle {
+			t.Fatalf("cycle %d: quarantined link delivered (got=%d)", cycle, got)
+		}
+		if links := m.QuarantinedLinks(); len(links) != 1 || links[0] != "local|peer" {
+			t.Fatalf("cycle %d: QuarantinedLinks() = %v", cycle, links)
+		}
+		if err := m.RestoreLink(net, "local", "peer", "peer re-attested"); err != nil {
+			t.Fatal(err)
+		}
+		if !net.LinkUp("local", "peer") {
+			t.Fatalf("cycle %d: link still down after restore", cycle)
+		}
+		if got := send(); got != cycle+1 {
+			t.Fatalf("cycle %d: restored link did not deliver (got=%d)", cycle, got)
+		}
+		if links := m.QuarantinedLinks(); len(links) != 0 {
+			t.Fatalf("cycle %d: links still booked after restore: %v", cycle, links)
+		}
+	}
+	// Each cycle records exactly one cut and one restore, in order.
+	want := []ActionKind{ActQuarantineLink, ActRestoreLink, ActQuarantineLink, ActRestoreLink}
+	if len(*actions) != len(want) {
+		t.Fatalf("actions = %+v", *actions)
+	}
+	for i, k := range want {
+		if (*actions)[i].Kind != k || (*actions)[i].Target != "local-peer" {
+			t.Fatalf("action %d = %+v, want kind %v", i, (*actions)[i], k)
+		}
+	}
+	// The fabric booked one quarantined drop per cycle and no more.
+	if st := net.Stats(); st.Quarantined != 2 {
+		t.Fatalf("fabric stats = %+v", st)
+	}
+}
+
+func TestQuarantineLinkIdempotent(t *testing.T) {
+	_, net, m, actions, _ := netRig(t)
+	if err := m.QuarantineLink(net, "local", "peer", "first alert"); err != nil {
+		t.Fatal(err)
+	}
+	// A second alert about the same neighbour must not double-book.
+	if err := m.QuarantineLink(net, "local", "peer", "second alert"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*actions) != 1 {
+		t.Fatalf("duplicate quarantine recorded: %+v", *actions)
+	}
+}
+
+func TestRestoreLinkRequiresPriorCut(t *testing.T) {
+	_, net, m, _, _ := netRig(t)
+	if err := m.RestoreLink(net, "local", "peer", "nothing cut"); !errors.Is(err, ErrNotIsolated) {
+		t.Fatalf("err = %v, want ErrNotIsolated", err)
+	}
+	// And after a full cycle the link is "not isolated" again.
+	if err := m.QuarantineLink(net, "local", "peer", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreLink(net, "local", "peer", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreLink(net, "local", "peer", "again"); !errors.Is(err, ErrNotIsolated) {
+		t.Fatalf("err = %v, want ErrNotIsolated", err)
+	}
+}
+
+func TestQuarantineLinkNilNetwork(t *testing.T) {
+	_, _, m, actions, _ := netRig(t)
+	if err := m.QuarantineLink(nil, "local", "peer", "r"); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if len(*actions) != 0 {
+		t.Fatalf("failed quarantine recorded: %+v", *actions)
+	}
+}

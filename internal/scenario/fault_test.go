@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFaultSpecZeroCompilesToDisabledPlan(t *testing.T) {
+	p, err := FaultSpec{}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled() {
+		t.Fatalf("zero spec compiled to an enabled plan: %+v", p)
+	}
+}
+
+func TestFaultSpecDefaults(t *testing.T) {
+	p, err := FaultSpec{
+		Drop: 0.1, Duplicate: 0.1, Reorder: 0.2,
+		CrashFraction:   0.3,
+		VerifierOutages: 2,
+		Seed:            9,
+	}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Link.ReorderDelay != time.Millisecond {
+		t.Fatalf("reorder delay default = %v", p.Link.ReorderDelay)
+	}
+	if p.Churn.CrashWindow != 30*time.Millisecond || p.Churn.RebootOutage != 5*time.Millisecond {
+		t.Fatalf("churn defaults = %+v", p.Churn)
+	}
+	if len(p.Outages) != 2 {
+		t.Fatalf("outages = %+v", p.Outages)
+	}
+	if p.Outages[0].Start != 20*time.Millisecond || p.Outages[0].Len != 5*time.Millisecond {
+		t.Fatalf("outage layout = %+v", p.Outages[0])
+	}
+	if p.Outages[1].Start != 40*time.Millisecond {
+		t.Fatalf("outage layout = %+v", p.Outages[1])
+	}
+	if p.Seed != 9 || !p.Enabled() {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	bad := []FaultSpec{
+		{Drop: math.NaN()},
+		{Duplicate: math.Inf(1)},
+		{Reorder: -0.1},
+		{Drop: 1.0},
+		{Duplicate: 1.5},
+		{CrashFraction: 2},
+		{CrashFraction: math.NaN()},
+		{ReorderDelay: -time.Millisecond},
+		{ReorderDelay: 2 * MaxFaultDelay},
+		{RebootOutage: -1},
+		{CrashWindow: 2 * MaxFaultWindow},
+		{VerifierOutages: -1},
+		{VerifierOutages: MaxVerifierOutages + 1},
+		{VerifierOutages: 1, VerifierOutageEvery: time.Millisecond, VerifierOutageLen: time.Millisecond},
+		{VerifierOutageEvery: -time.Second},
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("spec %d (%+v) compiled without error", i, s)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -85,6 +86,76 @@ func compileAndCheckPlan(t *testing.T, input string, p AttackPlan) {
 	if cp.Scenario() == nil {
 		t.Fatalf("input %q: compiled plan %q has no launchable scenario", input, p.Name)
 	}
+}
+
+func FuzzFaultSpecCompile(f *testing.F) {
+	add := func(drop, dup, reorder float64, rdelay int64, crash float64, cwin, outage int64, vout int, vevery, vlen, seed int64) {
+		f.Add(drop, dup, reorder, rdelay, crash, cwin, outage, vout, vevery, vlen, seed)
+	}
+	add(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	add(0.1, 0.1, 0.2, int64(time.Millisecond), 0.3, int64(30*time.Millisecond), int64(5*time.Millisecond), 2, 0, 0, 9)
+	add(math.NaN(), 0, 0, 0, 0, 0, 0, 0, 0, 0, 1)       // NaN rate
+	add(0, math.Inf(1), 0, 0, 0, 0, 0, 0, 0, 0, 1)      // Inf rate
+	add(-0.5, 0, -1, -5, -0.25, -1, -1, -3, -1, -1, -7) // negative everything
+	add(0.999, 1, 1, int64(time.Second), 1, 1<<40, 1, 12, int64(time.Second), int64(time.Millisecond), 3)
+	add(1.0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)                                           // drop rate 1.0 erases the fabric
+	add(0, 0, 0.5, 1<<62, 0, 0, 0, 0, 0, 0, 0)                                       // delay overflow territory
+	add(0, 0, 0, 0, 0, 0, 0, 1, int64(time.Millisecond), int64(time.Millisecond), 0) // outage >= period
+	f.Fuzz(func(t *testing.T, drop, dup, reorder float64, rdelay int64, crash float64, cwin, outage int64, vout int, vevery, vlen, seed int64) {
+		spec := FaultSpec{
+			Drop: drop, Duplicate: dup, Reorder: reorder,
+			ReorderDelay:    time.Duration(rdelay),
+			CrashFraction:   crash,
+			CrashWindow:     time.Duration(cwin),
+			RebootOutage:    time.Duration(outage),
+			VerifierOutages: vout, VerifierOutageEvery: time.Duration(vevery), VerifierOutageLen: time.Duration(vlen),
+			Seed: seed,
+		}
+		p, err := spec.Compile()
+		if err != nil {
+			return
+		}
+		// Compiled invariants: rates finite and in range, durations
+		// non-negative and bounded, defaults filled wherever the fault
+		// they parameterise is on.
+		for _, r := range []float64{p.Link.Drop, p.Link.Duplicate, p.Link.Reorder, p.Churn.CrashFraction} {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > 1 {
+				t.Fatalf("compiled rate %v out of range: %+v", r, p)
+			}
+		}
+		if (p.Link.Duplicate > 0 || p.Link.Reorder > 0) && p.Link.ReorderDelay <= 0 {
+			t.Fatalf("reorder delay unfilled: %+v", p.Link)
+		}
+		if p.Churn.CrashFraction > 0 && (p.Churn.CrashWindow <= 0 || p.Churn.RebootOutage <= 0) {
+			t.Fatalf("churn defaults unfilled: %+v", p.Churn)
+		}
+		// The plan must be expandable without panicking, and every fate
+		// and crash it derives must be sane.
+		in := p.NewInjector()
+		for i := 0; i < 50; i++ {
+			fate := in.Fate("node-00", "node-01")
+			if len(fate.Deliveries) > 2 {
+				t.Fatalf("fate with %d copies", len(fate.Deliveries))
+			}
+			for _, d := range fate.Deliveries {
+				if d < 0 || d > 2*MaxFaultDelay {
+					t.Fatalf("fate delay %v out of range", d)
+				}
+			}
+		}
+		for _, c := range p.CrashSchedule(32) {
+			if c.Device < 0 || c.Device >= 32 || c.At < 0 || c.Back < c.At {
+				t.Fatalf("crash %+v out of range", c)
+			}
+		}
+		for attempt := 0; attempt <= 4; attempt++ {
+			if d := p.Backoff("fuzz", attempt); d <= 0 {
+				t.Fatalf("backoff attempt %d nonpositive: %v", attempt, d)
+			}
+		}
+		p.VerifierDown(0)
+		p.VerifierDown(time.Hour)
+	})
 }
 
 func FuzzScenarioCompile(f *testing.F) {
