@@ -21,10 +21,13 @@
 // ns/tx ratio). With -normalize, each file's throughput is multiplied
 // by its own no-monitoring ns/tx before comparing: throughput scales
 // inversely with host speed and the reference row scales directly, so
-// the product cancels the machine out. Reports without a fleet
-// section — older artifacts, or fresh runs restricted to -only E9 —
-// skip this gate with a note instead of failing, so the check works
-// against baselines generated before the field existed.
+// the product cancels the machine out. Throughput is only comparable
+// config-for-config, so when both reports record the engine's
+// batch_size/shard_size the values must match — a mismatch fails the
+// gate rather than comparing incommensurable numbers. Reports without
+// a fleet section — older artifacts, or fresh runs restricted to
+// -only E9 — skip this gate with a note instead of failing, so the
+// check works against baselines generated before the field existed.
 //
 // Usage:
 //
@@ -49,6 +52,8 @@ type benchFile struct {
 type benchFleet struct {
 	TotalDevices  int     `json:"total_devices"`
 	DevicesPerSec float64 `json:"devices_per_sec"`
+	BatchSize     int     `json:"batch_size"`
+	ShardSize     int     `json:"shard_size"`
 }
 
 type benchE9 struct {
@@ -197,6 +202,15 @@ func compareFleet(base, fresh *benchFile, maxRegress float64, normalize bool) (p
 	}
 	if fresh.Fleet.DevicesPerSec <= 0 {
 		return nil, []string{"fleet gate skipped: fresh report has no fleet section (select E8 when generating it)"}
+	}
+	// Throughput only compares config-for-config: a bigger batch amortizes
+	// more key setup per device, so differing batching silently shifts the
+	// number without any code change. Reports from before the fields
+	// existed record zeros and skip the check.
+	if base.Fleet.BatchSize > 0 && fresh.Fleet.BatchSize > 0 &&
+		(base.Fleet.BatchSize != fresh.Fleet.BatchSize || base.Fleet.ShardSize != fresh.Fleet.ShardSize) {
+		return []string{fmt.Sprintf("fleet gate: batching config differs (base batch=%d shard=%d, fresh batch=%d shard=%d) — throughput is only comparable config-for-config",
+			base.Fleet.BatchSize, base.Fleet.ShardSize, fresh.Fleet.BatchSize, fresh.Fleet.ShardSize)}, nil
 	}
 	metric := "devices/sec"
 	baseV, freshV := base.Fleet.DevicesPerSec, fresh.Fleet.DevicesPerSec

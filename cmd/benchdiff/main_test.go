@@ -152,6 +152,32 @@ func TestCompareFleetNormalizedIgnoresMachineSpeed(t *testing.T) {
 	}
 }
 
+// TestCompareFleetConfigMismatch pins the config-for-config contract:
+// when both reports record the engine batching configuration, a
+// mismatch fails the gate (throughput numbers are incommensurable),
+// while reports from before the fields existed (zeros) still compare.
+func TestCompareFleetConfigMismatch(t *testing.T) {
+	withCfg := func(f *benchFile, batch, shard int) *benchFile {
+		f.Fleet.BatchSize, f.Fleet.ShardSize = batch, shard
+		return f
+	}
+	base := withCfg(withFleet(report(row("no-monitoring", 16, 0)), 9_000), 256, 4096)
+	mismatch := withCfg(withFleet(report(row("no-monitoring", 16, 0)), 9_000), 1024, 4096)
+	problems, _ := compareFleet(base, mismatch, 0.35, false)
+	if len(problems) != 1 || !strings.Contains(problems[0], "config") {
+		t.Fatalf("problems = %v, want one batching-config mismatch", problems)
+	}
+	same := withCfg(withFleet(report(row("no-monitoring", 16, 0)), 8_500), 256, 4096)
+	if problems, _ := compareFleet(base, same, 0.35, false); len(problems) != 0 {
+		t.Fatalf("matching config flagged: %v", problems)
+	}
+	// A baseline predating the fields records zeros: compare anyway.
+	legacy := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
+	if problems, _ := compareFleet(legacy, same, 0.35, false); len(problems) != 0 {
+		t.Fatalf("legacy baseline without config fields flagged: %v", problems)
+	}
+}
+
 // TestCompareFleetSkipsWithoutSection pins the back-compat contract:
 // a baseline generated before the fleet field existed, or a fresh
 // report from an -only E9 run, must skip the gate — not fail it.

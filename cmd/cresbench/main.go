@@ -28,7 +28,7 @@
 //
 //	cresbench [-seed 7] [-quick] [-parallel N] [-only E3,E9] [-stable] [-json BENCH_perf.json]
 //	cresbench -campaign [-shards 3] [-seed 7] [-parallel N] [-plan implant-persist] [-json campaign.json]
-//	cresbench -fleet 4096,65536 [-parallel N] [-json fleet.json]
+//	cresbench -fleet 4096,65536 [-parallel N] [-json fleet.json] [-cpuprofile fleet.pprof]
 package main
 
 import (
@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,16 +48,17 @@ import (
 
 // options collects the CLI flags.
 type options struct {
-	seed     int64
-	quick    bool
-	jsonPath string
-	parallel int
-	campaign bool
-	shards   int
-	plan     string
-	fleet    string
-	only     string
-	stable   bool
+	seed       int64
+	quick      bool
+	jsonPath   string
+	parallel   int
+	campaign   bool
+	shards     int
+	plan       string
+	fleet      string
+	only       string
+	stable     bool
+	cpuprofile string
 }
 
 func main() {
@@ -71,6 +73,7 @@ func main() {
 	flag.StringVar(&o.fleet, "fleet", "", `comma-separated fleet sizes, e.g. "4096,1048576": run the streaming fleet sweep only`)
 	flag.StringVar(&o.only, "only", "", "comma-separated experiment filter, e.g. E3,E9 (suite mode)")
 	flag.BoolVar(&o.stable, "stable", false, "mask host-clock readings so output is byte-identical across runs")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cresbench:", err)
@@ -111,9 +114,14 @@ type benchExperiment struct {
 // scale argument: how many device appraisals per second one host
 // sustains with memory bounded by the batch size.
 type benchFleet struct {
-	TotalDevices  int             `json:"total_devices"`
-	DevicesPerSec float64         `json:"devices_per_sec"`
-	Rows          []benchFleetRow `json:"rows"`
+	TotalDevices  int     `json:"total_devices"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
+	// BatchSize and ShardSize pin the engine batching configuration the
+	// sweep ran with, so benchdiff only compares throughput
+	// config-for-config.
+	BatchSize int             `json:"batch_size"`
+	ShardSize int             `json:"shard_size"`
+	Rows      []benchFleetRow `json:"rows"`
 }
 
 type benchFleetRow struct {
@@ -125,7 +133,12 @@ type benchFleetRow struct {
 }
 
 func fleetSection(res *cres.E8Result) benchFleet {
-	f := benchFleet{TotalDevices: res.TotalDevices, DevicesPerSec: res.DevicesPerSec()}
+	f := benchFleet{
+		TotalDevices:  res.TotalDevices,
+		DevicesPerSec: res.DevicesPerSec(),
+		BatchSize:     res.BatchSize,
+		ShardSize:     res.ShardSize,
+	}
 	for _, r := range res.Rows {
 		f.Rows = append(f.Rows, benchFleetRow{
 			Devices:      r.Devices,
@@ -154,6 +167,17 @@ func run(o options) error {
 	pool := harness.NewPool(o.parallel)
 	if o.campaign && o.fleet != "" {
 		return fmt.Errorf("-campaign and -fleet are exclusive modes")
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if o.campaign {
 		return runCampaign(o, pool)

@@ -128,8 +128,10 @@ func TestRunCampaignRejectsBadPlan(t *testing.T) {
 }
 
 func TestRunFleetMode(t *testing.T) {
-	jsonPath := filepath.Join(t.TempDir(), "fleet.json")
-	if err := run(options{seed: 7, fleet: "4,512", parallel: 4, jsonPath: jsonPath, stable: true}); err != nil {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fleet.json")
+	profPath := filepath.Join(dir, "fleet.pprof")
+	if err := run(options{seed: 7, fleet: "4,512", parallel: 4, jsonPath: jsonPath, stable: true, cpuprofile: profPath}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonPath)
@@ -151,6 +153,12 @@ func TestRunFleetMode(t *testing.T) {
 	}
 	if len(rep.Fleet.Rows) != 2 || rep.Fleet.Rows[1].Caught != 64 {
 		t.Fatalf("fleet rows = %+v", rep.Fleet.Rows)
+	}
+	if rep.Fleet.BatchSize <= 0 || rep.Fleet.ShardSize <= 0 {
+		t.Fatalf("fleet report lacks batching config: batch=%d shard=%d", rep.Fleet.BatchSize, rep.Fleet.ShardSize)
+	}
+	if fi, err := os.Stat(profPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("-cpuprofile wrote nothing: %v", err)
 	}
 }
 

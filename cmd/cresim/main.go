@@ -354,14 +354,9 @@ func runFleet(o options) error {
 	fmt.Printf("=== streaming fleet smoke: %d devices, %d shards, batches of %d ===\n\n",
 		o.fleet, eng.NumShards(), eng.Config().BatchSize)
 
-	outs, err := harness.Map(harness.NewPool(o.parallel), eng.NumShards(), o.seed,
-		func(sh harness.Shard) (fleet.Summary, error) { return eng.RunShard(sh.Index) })
+	sum, err := eng.RunParallel(harness.NewPool(o.parallel))
 	if err != nil {
 		return err
-	}
-	var sum fleet.Summary
-	for _, out := range outs {
-		sum = sum.Merge(out)
 	}
 
 	fmt.Printf("devices: %d  tampered: %d  caught: %d  false alarms: %d\n",

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"cres/internal/fleet"
-	"cres/internal/harness"
 	"cres/internal/report"
 	"cres/internal/scenario"
 )
@@ -66,6 +65,10 @@ type E8Result struct {
 	// throughput the benchmark artifact records.
 	TotalDevices int
 	Wall         time.Duration
+	// BatchSize and ShardSize are the engine batching configuration the
+	// sweep ran with, recorded in the benchmark artifact so throughput
+	// comparisons are reproducible config-for-config.
+	BatchSize, ShardSize int
 }
 
 // DevicesPerSec is the sweep's host-clock appraisal throughput.
@@ -78,16 +81,17 @@ func (r *E8Result) DevicesPerSec() float64 {
 
 // RunE8FleetAttestation sweeps fleet sizes on the streaming fleet
 // engine, measuring catch rates, appraisal-latency distribution and
-// verifier completion time. Every verifier shard of every size is one
-// harness shard; shard summaries merge in any order to the same row.
+// verifier completion time. Each size runs through the engine's shared
+// fleet.(*Engine).RunParallel entry point — parallelism is configured
+// with the same ...RunOption shape as every other experiment, and
+// shard summaries merge in shard order to the same row at any pool
+// width.
 func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Result, error) {
 	rc := newRunCfg(opts)
 	if len(sizes) == 0 {
 		sizes = FleetSizes(false)
 	}
 
-	// One engine per fleet size, then a flattened (engine, shard) job
-	// list so large fleets load-balance across the pool.
 	engines := make([]*fleet.Engine, len(sizes))
 	for i, n := range sizes {
 		cf, err := E8FleetSpec(n).Compile()
@@ -99,45 +103,25 @@ func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Resul
 			return nil, err
 		}
 	}
-	type fleetJob struct {
-		size  int // index into sizes
-		shard int
-	}
-	var jobs []fleetJob
-	for i, eng := range engines {
-		for s := 0; s < eng.NumShards(); s++ {
-			jobs = append(jobs, fleetJob{size: i, shard: s})
-		}
-	}
-
-	start := time.Now()
-	// The harness derives a per-shard seed, but the fleet engine doesn't
-	// need it: every per-device draw is already a pure function of the
-	// fleet seed and the device's global index, which is what makes the
-	// summaries below mergeable in any order.
-	outs, err := harness.Map(rc.pool, len(jobs), seed, func(sh harness.Shard) (fleet.Summary, error) {
-		j := jobs[sh.Index]
-		return engines[j.size].RunShard(j.shard)
-	})
-	if err != nil {
-		return nil, err
-	}
-	wall := time.Since(start)
 
 	res := &E8Result{
 		Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"},
-		Wall:   wall,
 	}
-	job := 0
+	start := time.Now()
 	for i, n := range sizes {
-		row := E8Row{Devices: n, Shards: engines[i].NumShards()}
-		for s := 0; s < row.Shards; s++ {
-			row.Summary = row.Summary.Merge(outs[job])
-			job++
+		sum, err := engines[i].RunParallel(rc.pool)
+		if err != nil {
+			return nil, err
 		}
+		row := E8Row{Devices: n, Shards: engines[i].NumShards(), Summary: sum}
 		res.TotalDevices += row.Summary.Devices
 		res.Rows = append(res.Rows, row)
 		res.Series.Add(float64(n), float64(row.Summary.Completion.Milliseconds()))
+	}
+	res.Wall = time.Since(start)
+	if len(engines) > 0 {
+		cfg := engines[0].Config()
+		res.BatchSize, res.ShardSize = cfg.BatchSize, cfg.ShardSize
 	}
 
 	t := report.NewTable("E8 — Fleet attestation sweep (streaming engine; 1 in 8 devices tampered; memory bounded by batch, not fleet)",

@@ -142,10 +142,23 @@ type Policy struct {
 // ErrPolicy reports an appraisal-policy failure.
 var ErrPolicy = errors.New("attest: policy violation")
 
-// Appraise is the pure verifier core: it checks a quote and event log
-// against the policy. It is independent of the transport so it can be
-// tested and benchmarked directly.
+// Appraise checks a quote and event log against the policy, resolving
+// the device's attestation key from the provisioned name-keyed AIK map.
+//
+// Deprecated: Appraise is a thin name-lookup wrapper kept as an alias
+// while E-series callers migrate; AppraiseKey is the one appraisal
+// entry point, and batch callers should precompile with
+// CompileAppraisal. New code that holds a key should call AppraiseKey
+// directly.
 func (p *Policy) Appraise(device string, q *tpm.Quote, log []tpm.LogEntry, nonce []byte) error {
+	return p.appraiseNamed(device, q, log, nonce)
+}
+
+// appraiseNamed resolves a device name to its provisioned AIK and
+// delegates to AppraiseKey — the lookup half of the deprecated Appraise
+// alias, shared with the transport verifier whose device identity is a
+// wire name.
+func (p *Policy) appraiseNamed(device string, q *tpm.Quote, log []tpm.LogEntry, nonce []byte) error {
 	aik, ok := p.AIKs[device]
 	if !ok {
 		return fmt.Errorf("%w: no AIK provisioned for %s", ErrPolicy, device)
@@ -153,11 +166,13 @@ func (p *Policy) Appraise(device string, q *tpm.Quote, log []tpm.LogEntry, nonce
 	return p.AppraiseKey(aik, q, log, nonce)
 }
 
-// AppraiseKey is Appraise with the device's attestation key supplied
-// directly instead of looked up by name — the form used by callers
+// AppraiseKey is the pure verifier core and the single appraisal entry
+// point: it checks a quote and event log against the policy with the
+// device's attestation key supplied directly — the form used by callers
 // (like the streaming fleet verifier) whose device identity is an
 // index, not a string, and whose key material never enters a name-keyed
-// map.
+// map. It is independent of the transport so it can be tested and
+// benchmarked directly.
 func (p *Policy) AppraiseKey(aik cryptoutil.PublicKey, q *tpm.Quote, log []tpm.LogEntry, nonce []byte) error {
 	if err := tpm.VerifyQuote(aik, q, nonce); err != nil {
 		return fmt.Errorf("%w: %w", ErrPolicy, err)
@@ -279,7 +294,7 @@ func (v *Verifier) onQuote(msg m2m.Message) {
 		return
 	}
 	delete(v.pending, msg.From)
-	if err := v.policy.Appraise(msg.From, &qp.Quote, qp.Log, nonce); err != nil {
+	if err := v.policy.appraiseNamed(msg.From, &qp.Quote, qp.Log, nonce); err != nil {
 		v.conclude(Appraisal{Device: msg.From, At: v.engine.Now(), Verdict: VerdictUntrusted, Reason: err.Error()})
 		return
 	}

@@ -204,7 +204,7 @@ func TestAppraiseRejectsReplayedNonce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = f.policy.Appraise("device-0", q, tp.EventLog(), []byte("fresh-nonce"))
+	err = f.policy.appraiseNamed("device-0", q, tp.EventLog(), []byte("fresh-nonce"))
 	if !errors.Is(err, ErrPolicy) {
 		t.Fatalf("err = %v", err)
 	}
@@ -214,7 +214,7 @@ func TestAppraiseRejectsUnknownDevice(t *testing.T) {
 	f := newFixture(t, 1)
 	tp := f.tpms["device-0"]
 	q, _ := tp.GenerateQuote([]byte("n"), PCRSelection)
-	if err := f.policy.Appraise("ghost", q, tp.EventLog(), []byte("n")); !errors.Is(err, ErrPolicy) {
+	if err := f.policy.appraiseNamed("ghost", q, tp.EventLog(), []byte("n")); !errors.Is(err, ErrPolicy) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -232,7 +232,7 @@ func TestAppraiseRejectsLogQuoteMismatch(t *testing.T) {
 	// Make the real device state differ first.
 	tp.Extend(tpm.PCRFirmware, mEvil, "extra")
 	q2, _ := tp.GenerateQuote(nonce, PCRSelection)
-	if err := f.policy.Appraise("device-0", q2, log, nonce); !errors.Is(err, ErrPolicy) {
+	if err := f.policy.appraiseNamed("device-0", q2, log, nonce); !errors.Is(err, ErrPolicy) {
 		t.Fatalf("err = %v", err)
 	}
 	_ = q
@@ -243,7 +243,7 @@ func TestAppraiseRejectsMissingRequiredPCR(t *testing.T) {
 	tp := f.tpms["device-0"]
 	nonce := []byte("n")
 	q, _ := tp.GenerateQuote(nonce, []int{tpm.PCRBootROM}) // missing firmware PCR
-	if err := f.policy.Appraise("device-0", q, tp.EventLog(), nonce); !errors.Is(err, ErrPolicy) {
+	if err := f.policy.appraiseNamed("device-0", q, tp.EventLog(), nonce); !errors.Is(err, ErrPolicy) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -24,6 +24,16 @@ func NewDeterministicEntropy(seed []byte) *DeterministicEntropy {
 	return &DeterministicEntropy{seed: Sum(seed)}
 }
 
+// Reset re-keys the stream in place, exactly as if freshly constructed
+// with NewDeterministicEntropy(seed). The batched fleet scratch re-keys
+// one pooled reader per provisioning epoch instead of allocating a new
+// stream per device.
+func (d *DeterministicEntropy) Reset(seed []byte) {
+	d.seed = Sum(seed)
+	d.counter = 0
+	d.buf = nil
+}
+
 // Read fills p with pseudo-random bytes. It never fails.
 func (d *DeterministicEntropy) Read(p []byte) (int, error) {
 	n := len(p)

@@ -13,4 +13,14 @@
 // therefore never change any device's fate, Summary.Merge is associative
 // and commutative, and fleet tables are byte-identical at any
 // parallelism.
+//
+// All execution funnels through (*Engine).RunParallel, which fans
+// RunShard across a harness.Pool and merges shard summaries in shard
+// order; Run is the nil-pool serial case of the same method. Inside a
+// shard, appraisal runs on a pooled per-shard scratch: boot variants
+// are compiled once per engine (event-log replay, canonical quote-body
+// template, precomputed policy verdict) and the provisioning-epoch AIK
+// is derived once per batch from the entropy root at the batch's first
+// global index — pooled state is restricted to quantities the Summary
+// cannot observe, so batching is invisible in every output.
 package fleet

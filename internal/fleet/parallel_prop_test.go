@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cres/internal/cryptoutil"
+	"cres/internal/harness"
+)
+
+// TestRunParallelEqualsSerialProperty is the property behind the
+// unified run API: for any configuration, RunParallel(pool) merges
+// shard summaries into exactly the Summary serial Run produces —
+// every per-device quantity derives from (seed, global index), so
+// pool width, shard size and batch size are pure scheduling choices.
+// Trial shapes are drawn from a fixed-seed generator, so the test is
+// deterministic while still sweeping odd sizes, shard/batch
+// misalignments and both tamper models.
+func TestRunParallelEqualsSerialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	for trial := 0; trial < 12; trial++ {
+		cfg := Config{
+			Seed:      rng.Int63n(1 << 30),
+			Size:      1 + rng.Intn(3000),
+			BatchSize: 1 + rng.Intn(300),
+			ShardSize: 1 + rng.Intn(1200),
+			SampleK:   1 + rng.Intn(8),
+		}
+		if rng.Intn(2) == 0 {
+			// Deterministic tamper rule on the single reference share.
+			cfg.Shares = refConfig(cfg.Size).Shares
+			cfg.TamperEvery = 2 + rng.Intn(16)
+			cfg.TamperOffset = rng.Intn(cfg.TamperEvery)
+		} else {
+			// Mixed shares with per-share probabilistic tamper rates.
+			cfg.Shares = []Share{
+				{Label: "a", Firmware: cryptoutil.Sum([]byte("fw-a")), FirmwareDesc: "fw a",
+					Fraction: 0.75, TamperRate: rng.Float64() / 2},
+				{Label: "b", Firmware: cryptoutil.Sum([]byte("fw-b")), FirmwareDesc: "fw b",
+					Fraction: 0.25, TamperRate: rng.Float64() / 2},
+			}
+		}
+		width := 1 + rng.Intn(8)
+
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		serial, err := eng.Run()
+		if err != nil {
+			t.Fatalf("trial %d: serial run: %v", trial, err)
+		}
+		par, err := eng.RunParallel(harness.NewPool(width))
+		if err != nil {
+			t.Fatalf("trial %d: parallel run (width %d): %v", trial, width, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("trial %d (size=%d batch=%d shard=%d width=%d): summaries diverge\nserial:   %+v\nparallel: %+v",
+				trial, cfg.Size, cfg.BatchSize, cfg.ShardSize, width, serial, par)
+		}
+	}
+}

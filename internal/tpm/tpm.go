@@ -144,23 +144,37 @@ type Quote struct {
 	Signature []byte
 }
 
+// QuoteBodyNonceOffset is the byte offset of the nonce within the
+// canonical quote-body encoding: it follows the 4-byte nonce length.
+// Batched appraisers splice a fresh nonce into a prebuilt body at this
+// offset instead of re-encoding the whole body per quote.
+const QuoteBodyNonceOffset = 4
+
+// AppendQuoteBody appends the deterministic signed encoding of a quote
+// — the exact bytes GenerateQuote signs and VerifyQuote checks — to dst
+// and returns the extended slice. The caller must pass the selection
+// already sorted and deduplicated (as Quote.Selection always is).
+func AppendQuoteBody(dst []byte, nonce []byte, selection []int, values []cryptoutil.Digest) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(nonce)))
+	dst = append(dst, l[:]...)
+	dst = append(dst, nonce...)
+	binary.BigEndian.PutUint32(l[:], uint32(len(selection)))
+	dst = append(dst, l[:]...)
+	for _, s := range selection {
+		binary.BigEndian.PutUint32(l[:], uint32(s))
+		dst = append(dst, l[:]...)
+	}
+	for _, v := range values {
+		dst = append(dst, v[:]...)
+	}
+	return dst
+}
+
 // quoteBody returns the deterministic signed encoding.
 func quoteBody(nonce []byte, selection []int, values []cryptoutil.Digest) []byte {
 	buf := make([]byte, 0, 16+len(nonce)+len(selection)*4+len(values)*cryptoutil.DigestSize)
-	var l [4]byte
-	binary.BigEndian.PutUint32(l[:], uint32(len(nonce)))
-	buf = append(buf, l[:]...)
-	buf = append(buf, nonce...)
-	binary.BigEndian.PutUint32(l[:], uint32(len(selection)))
-	buf = append(buf, l[:]...)
-	for _, s := range selection {
-		binary.BigEndian.PutUint32(l[:], uint32(s))
-		buf = append(buf, l[:]...)
-	}
-	for _, v := range values {
-		buf = append(buf, v[:]...)
-	}
-	return buf
+	return AppendQuoteBody(buf, nonce, selection, values)
 }
 
 // GenerateQuote signs the selected PCRs with the AIK. The selection is
