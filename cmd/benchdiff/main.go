@@ -29,9 +29,16 @@
 // -only E9 — skip this gate with a note instead of failing, so the
 // check works against baselines generated before the field existed.
 //
+// A fourth check gates the fleet's heap allocations per appraised
+// device (fleet.allocs_per_device) against an absolute budget
+// (-max-fleet-allocs, default 4 — matching the internal/fleet
+// allocation test). Allocation counts do not vary with host speed, so
+// no normalization applies; reports lacking the field (older
+// artifacts, -only E9 runs) skip the gate with a note.
+//
 // Usage:
 //
-//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-normalize]
+//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-max-fleet-allocs 4] [-normalize]
 package main
 
 import (
@@ -50,10 +57,13 @@ type benchFile struct {
 }
 
 type benchFleet struct {
-	TotalDevices  int     `json:"total_devices"`
-	DevicesPerSec float64 `json:"devices_per_sec"`
-	BatchSize     int     `json:"batch_size"`
-	ShardSize     int     `json:"shard_size"`
+	TotalDevices    int     `json:"total_devices"`
+	DevicesPerSec   float64 `json:"devices_per_sec"`
+	BatchSize       int     `json:"batch_size"`
+	ShardSize       int     `json:"shard_size"`
+	AllocsPerDevice float64 `json:"allocs_per_device"`
+	GoVersion       string  `json:"go_version"`
+	NumCPU          int     `json:"num_cpu"`
 }
 
 type benchE9 struct {
@@ -75,16 +85,17 @@ func main() {
 	newPath := flag.String("new", "", "freshly generated report to check")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/tx regression")
 	maxFleetRegress := flag.Float64("max-fleet-regress", 0.35, "maximum tolerated fractional fleet devices/sec drop")
+	maxFleetAllocs := flag.Float64("max-fleet-allocs", 4, "maximum tolerated fleet heap allocations per device")
 	normalize := flag.Bool("normalize", false, "compare overhead ratios vs the no-monitoring row instead of raw ns/tx")
 	flag.Parse()
 
-	if err := run(*basePath, *newPath, *maxRegress, *maxFleetRegress, *normalize, os.Stdout); err != nil {
+	if err := run(*basePath, *newPath, *maxRegress, *maxFleetRegress, *maxFleetAllocs, *normalize, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, newPath string, maxRegress, maxFleetRegress float64, normalize bool, out *os.File) error {
+func run(basePath, newPath string, maxRegress, maxFleetRegress, maxFleetAllocs float64, normalize bool, out *os.File) error {
 	if newPath == "" {
 		return fmt.Errorf("-new is required")
 	}
@@ -100,6 +111,9 @@ func run(basePath, newPath string, maxRegress, maxFleetRegress float64, normaliz
 	fleetProblems, fleetLines := compareFleet(base, fresh, maxFleetRegress, normalize)
 	problems = append(problems, fleetProblems...)
 	lines = append(lines, fleetLines...)
+	allocProblems, allocLines := compareFleetAllocs(base, fresh, maxFleetAllocs)
+	problems = append(problems, allocProblems...)
+	lines = append(lines, allocLines...)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
@@ -234,6 +248,34 @@ func compareFleet(base, fresh *benchFile, maxRegress float64, normalize bool) (p
 	lines = append(lines,
 		fmt.Sprintf("Fleet comparison (%s, limit -%.0f%%):", metric, maxRegress*100),
 		fmt.Sprintf("  %-32s %10.3f -> %10.3f  (%+6.1f%%)  %s", "streaming-attestation", baseV, freshV, delta*100, status))
+	return problems, lines
+}
+
+// compareFleetAllocs gates the fleet's heap allocations per appraised
+// device against an absolute budget — the cross-binary twin of the
+// internal/fleet TestBatchLoopAllocsPerDeviceO1 gate, so a return to
+// per-device TPM/quote/log allocation fails CI even if only the
+// benchmark job runs. The budget is absolute rather than relative
+// because allocation counts, unlike wall-clock numbers, do not vary
+// with host speed. A fresh report recording zero (an artifact from
+// before the field existed, or an E9-only run) skips the gate with a
+// note, mirroring the other absent-field rules.
+func compareFleetAllocs(base, fresh *benchFile, maxAllocs float64) (problems, lines []string) {
+	if fresh.Fleet.AllocsPerDevice <= 0 {
+		return nil, []string{"fleet allocs gate skipped: fresh report has no allocs_per_device field"}
+	}
+	baseStr := "n/a"
+	if base.Fleet.AllocsPerDevice > 0 {
+		baseStr = fmt.Sprintf("%.2f", base.Fleet.AllocsPerDevice)
+	}
+	status := "ok"
+	if fresh.Fleet.AllocsPerDevice > maxAllocs {
+		status = "REGRESSION"
+		problems = append(problems, fmt.Sprintf("fleet: %.2f allocs/device exceeds the %.0f budget", fresh.Fleet.AllocsPerDevice, maxAllocs))
+	}
+	lines = append(lines,
+		fmt.Sprintf("Fleet allocations (allocs/device, budget %.0f):", maxAllocs),
+		fmt.Sprintf("  %-32s %10s -> %10.2f  %s", "streaming-attestation", baseStr, fresh.Fleet.AllocsPerDevice, status))
 	return problems, lines
 }
 

@@ -100,16 +100,16 @@ func TestRunEndToEnd(t *testing.T) {
 	goodPath := write("good.json", report(row("no-monitoring", 16.5, 0)))
 	badPath := write("bad.json", report(row("no-monitoring", 30, 0)))
 
-	if err := run(basePath, goodPath, 0.25, 0.35, false, os.Stdout); err != nil {
+	if err := run(basePath, goodPath, 0.25, 0.35, 4, false, os.Stdout); err != nil {
 		t.Fatalf("clean comparison failed: %v", err)
 	}
-	if err := run(basePath, badPath, 0.25, 0.35, false, os.Stdout); err == nil {
+	if err := run(basePath, badPath, 0.25, 0.35, 4, false, os.Stdout); err == nil {
 		t.Fatal("regression passed the gate")
 	}
-	if err := run(basePath, "", 0.25, 0.35, false, os.Stdout); err == nil {
+	if err := run(basePath, "", 0.25, 0.35, 4, false, os.Stdout); err == nil {
 		t.Fatal("missing -new accepted")
 	}
-	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, 0.35, false, os.Stdout); err == nil {
+	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, 0.35, 4, false, os.Stdout); err == nil {
 		t.Fatal("unreadable fresh report accepted")
 	}
 }
@@ -175,6 +175,40 @@ func TestCompareFleetConfigMismatch(t *testing.T) {
 	legacy := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
 	if problems, _ := compareFleet(legacy, same, 0.35, false); len(problems) != 0 {
 		t.Fatalf("legacy baseline without config fields flagged: %v", problems)
+	}
+}
+
+// TestCompareFleetAllocsGate pins the allocs/device budget: within
+// budget passes, above fails, and a fresh report without the field
+// (older cresbench, or an -only E9 run) skips with a note — the same
+// absent-field back-compat rule as the throughput gate.
+func TestCompareFleetAllocsGate(t *testing.T) {
+	withAllocs := func(a float64) *benchFile {
+		f := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
+		f.Fleet.AllocsPerDevice = a
+		return f
+	}
+	base := withAllocs(2.1)
+
+	if problems, _ := compareFleetAllocs(base, withAllocs(3.5), 4); len(problems) != 0 {
+		t.Fatalf("within-budget allocs flagged: %v", problems)
+	}
+	problems, _ := compareFleetAllocs(base, withAllocs(9.5), 4)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/device") {
+		t.Fatalf("problems = %v, want one allocs/device regression", problems)
+	}
+	// Absent field (zero) in the fresh report: skip, don't fail.
+	problems, lines := compareFleetAllocs(base, withAllocs(0), 4)
+	if len(problems) != 0 {
+		t.Fatalf("absent allocs field treated as regression: %v", problems)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "skipped") {
+		t.Fatalf("lines = %v, want a single skip note", lines)
+	}
+	// A baseline without the field still gates the fresh value.
+	legacy := withFleet(report(row("no-monitoring", 16, 0)), 9_000)
+	if problems, _ := compareFleetAllocs(legacy, withAllocs(9.5), 4); len(problems) != 1 {
+		t.Fatalf("legacy baseline suppressed the absolute gate: %v", problems)
 	}
 }
 

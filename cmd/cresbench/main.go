@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -119,9 +120,18 @@ type benchFleet struct {
 	// BatchSize and ShardSize pin the engine batching configuration the
 	// sweep ran with, so benchdiff only compares throughput
 	// config-for-config.
-	BatchSize int             `json:"batch_size"`
-	ShardSize int             `json:"shard_size"`
-	Rows      []benchFleetRow `json:"rows"`
+	BatchSize int `json:"batch_size"`
+	ShardSize int `json:"shard_size"`
+	// AllocsPerDevice is the sweep's heap allocations per appraised
+	// device — benchdiff gates it against an absolute budget. GoVersion
+	// and NumCPU record the measurement's provenance so a trajectory
+	// shift can be traced to a toolchain or host change. All three are
+	// absent (zero) in artifacts from before the fields existed, which
+	// benchdiff treats as "skip", not "fail".
+	AllocsPerDevice float64         `json:"allocs_per_device,omitempty"`
+	GoVersion       string          `json:"go_version,omitempty"`
+	NumCPU          int             `json:"num_cpu,omitempty"`
+	Rows            []benchFleetRow `json:"rows"`
 }
 
 type benchFleetRow struct {
@@ -134,10 +144,13 @@ type benchFleetRow struct {
 
 func fleetSection(res *cres.E8Result) benchFleet {
 	f := benchFleet{
-		TotalDevices:  res.TotalDevices,
-		DevicesPerSec: res.DevicesPerSec(),
-		BatchSize:     res.BatchSize,
-		ShardSize:     res.ShardSize,
+		TotalDevices:    res.TotalDevices,
+		DevicesPerSec:   res.DevicesPerSec(),
+		BatchSize:       res.BatchSize,
+		ShardSize:       res.ShardSize,
+		AllocsPerDevice: res.AllocsPerDevice,
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
 	}
 	for _, r := range res.Rows {
 		f.Rows = append(f.Rows, benchFleetRow{

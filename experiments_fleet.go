@@ -1,6 +1,7 @@
 package cres
 
 import (
+	"runtime"
 	"time"
 
 	"cres/internal/fleet"
@@ -69,6 +70,12 @@ type E8Result struct {
 	// sweep ran with, recorded in the benchmark artifact so throughput
 	// comparisons are reproducible config-for-config.
 	BatchSize, ShardSize int
+	// AllocsPerDevice is the sweep's heap allocations per appraised
+	// device (total runtime mallocs across the sweep divided by
+	// TotalDevices). The batched hot path pools everything reusable, so
+	// this stays O(1); cmd/benchdiff gates it against the same absolute
+	// budget as the internal/fleet allocation test.
+	AllocsPerDevice float64
 }
 
 // DevicesPerSec is the sweep's host-clock appraisal throughput.
@@ -107,6 +114,8 @@ func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Resul
 	res := &E8Result{
 		Series: report.Series{Name: "attestation-completion", XLabel: "devices", YLabel: "ms"},
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i, n := range sizes {
 		sum, err := engines[i].RunParallel(rc.pool)
@@ -119,6 +128,11 @@ func RunE8FleetAttestation(sizes []int, seed int64, opts ...RunOption) (*E8Resul
 		res.Series.Add(float64(n), float64(row.Summary.Completion.Milliseconds()))
 	}
 	res.Wall = time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	if res.TotalDevices > 0 {
+		res.AllocsPerDevice = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.TotalDevices)
+	}
 	if len(engines) > 0 {
 		cfg := engines[0].Config()
 		res.BatchSize, res.ShardSize = cfg.BatchSize, cfg.ShardSize

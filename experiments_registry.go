@@ -123,4 +123,14 @@ func init() {
 			return RunE14FaultRecovery(E14Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
 		},
 		func(_ *harness.Context, r *E14Result) []string { return []string{r.Table.Render()} }))
+	harness.Register("BV", timedRunner(
+		func(ctx *harness.Context) (*BVResult, error) { return RunBVBatchVerify(ctx.Seed) },
+		func(ctx *harness.Context, r *BVResult) []string {
+			if ctx.Stable {
+				// ns/sig cells are host-clock readings; mask them so the
+				// determinism gate's byte-compare holds.
+				return []string{r.RenderStable()}
+			}
+			return []string{r.Table.Render()}
+		}))
 }

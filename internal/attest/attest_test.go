@@ -16,12 +16,13 @@ import (
 // fixture builds a verifier plus n attesting devices with healthy
 // measured-boot state.
 type fixture struct {
-	engine   *sim.Engine
-	net      *m2m.Network
-	verifier *Verifier
-	policy   *Policy
-	tpms     map[string]*tpm.TPM
-	results  []Appraisal
+	engine    *sim.Engine
+	net       *m2m.Network
+	verifier  *Verifier
+	policy    *Policy
+	tpms      map[string]*tpm.TPM
+	attesters map[string]*Attester
+	results   []Appraisal
 }
 
 // Measurements every healthy device extends.
@@ -49,7 +50,7 @@ func newFixture(t *testing.T, n int) *fixture {
 	t.Helper()
 	e := sim.New(11)
 	net := m2m.NewNetwork(e, m2m.Config{})
-	f := &fixture{engine: e, net: net, tpms: make(map[string]*tpm.TPM)}
+	f := &fixture{engine: e, net: net, tpms: make(map[string]*tpm.TPM), attesters: make(map[string]*Attester)}
 
 	vkey, err := cryptoutil.KeyPairFromSeed(bytes.Repeat([]byte{0xf0}, 32))
 	if err != nil {
@@ -84,7 +85,7 @@ func newFixture(t *testing.T, n int) *fixture {
 			t.Fatal(err)
 		}
 		measureHealthy(t, tp)
-		NewAttester(tp, dep)
+		f.attesters[name] = NewAttester(tp, dep)
 		f.tpms[name] = tp
 		f.policy.AIKs[name] = tp.AIKPublic()
 	}

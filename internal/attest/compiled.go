@@ -150,6 +150,45 @@ func (b *BatchAppraiser) Appraise(aik cryptoutil.PublicKey, nonce, sig []byte) e
 	return b.c.verdict
 }
 
+// SignFast is Sign through the variable-time signer: same spliced
+// body, byte-identical signature, plus the R hint that lets the
+// verifier's batch path skip decompression. The fleet's device side
+// uses this; Sign remains for callers holding only a KeyPair.
+func (b *BatchAppraiser) SignFast(signer *cryptoutil.VartimeSigner, nonce []byte) (sig [64]byte, hint cryptoutil.RHint, err error) {
+	if err := b.spliceNonce(nonce); err != nil {
+		return sig, hint, err
+	}
+	sig, hint = signer.Sign(b.body)
+	return sig, hint, nil
+}
+
+// Enqueue is the accumulation half of Appraise for the batched
+// verifier path: it splices the nonce and hands the signature to bv,
+// which copies the body before the next splice overwrites it. The
+// verdict arrives later, via Resolve, once the caller flushes bv.
+func (b *BatchAppraiser) Enqueue(bv *cryptoutil.BatchVerifier, aik cryptoutil.PublicKey, nonce, sig []byte, hint *cryptoutil.RHint) error {
+	if err := b.spliceNonce(nonce); err != nil {
+		return err
+	}
+	if hint != nil {
+		bv.AddHinted(aik, b.body, sig, hint)
+	} else {
+		bv.Add(aik, b.body, sig)
+	}
+	return nil
+}
+
+// Resolve maps one flushed BatchVerifier verdict back to the appraisal
+// outcome, completing an Enqueue. The result is exactly Appraise's: a
+// failed signature yields ErrPolicy wrapping tpm.ErrQuoteInvalid, a
+// good one the compiled policy verdict.
+func (b *BatchAppraiser) Resolve(sigOK bool) error {
+	if !sigOK {
+		return fmt.Errorf("%w: %w", ErrPolicy, tpm.ErrQuoteInvalid)
+	}
+	return b.c.verdict
+}
+
 // dedupSorted removes adjacent duplicates from a sorted slice in place.
 func dedupSorted(sorted []int) []int {
 	out := sorted[:0]

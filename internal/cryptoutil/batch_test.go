@@ -1,0 +1,349 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// batchCase is one signature for the equivalence tests, possibly
+// tampered after signing.
+type batchCase struct {
+	pub PublicKey
+	msg []byte
+	sig []byte
+}
+
+func makeBatch(t testing.TB, rng *rand.Rand, n int, keys int) []batchCase {
+	t.Helper()
+	pairs := make([]*KeyPair, keys)
+	for i := range pairs {
+		seed := make([]byte, 32)
+		rng.Read(seed)
+		kp, err := KeyPairFromSeed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = kp
+	}
+	out := make([]batchCase, n)
+	for i := range out {
+		kp := pairs[rng.Intn(keys)]
+		msg := make([]byte, 16+rng.Intn(150))
+		rng.Read(msg)
+		out[i] = batchCase{pub: kp.Public(), msg: msg, sig: kp.Sign(msg)}
+	}
+	return out
+}
+
+// runBoth returns the batch verdicts and the unbatched per-signature
+// verdicts for the same inputs, using a fixed coefficient stream.
+func runBoth(cases []batchCase, seed string) (batch, single []bool) {
+	bv := NewBatchVerifier(NewDeterministicEntropy([]byte(seed)))
+	single = make([]bool, len(cases))
+	for i, c := range cases {
+		bv.Add(c.pub, c.msg, c.sig)
+		single[i] = c.pub.Verify(c.msg, c.sig)
+	}
+	batch = bv.Flush()
+	return batch, single
+}
+
+func assertParity(t *testing.T, cases []batchCase, label string) {
+	t.Helper()
+	batch, single := runBoth(cases, label)
+	if len(batch) != len(single) {
+		t.Fatalf("%s: %d batch verdicts for %d signatures", label, len(batch), len(single))
+	}
+	for i := range batch {
+		if batch[i] != single[i] {
+			t.Fatalf("%s: signature %d: batch says %v, ed25519.Verify says %v", label, i, batch[i], single[i])
+		}
+	}
+}
+
+// TestBatchVerifierMatchesSingle drives the verdict-parity property
+// over the tamper patterns the issue calls out: empty batch, single
+// element, one forged signature, all forged, flipped pubkey — plus
+// truncated inputs and non-canonical scalars.
+func TestBatchVerifierMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+
+	// Empty batch: Flush returns no verdicts and no error.
+	bv := NewBatchVerifier(NewDeterministicEntropy([]byte("empty")))
+	if got := bv.Flush(); len(got) != 0 {
+		t.Fatalf("empty batch produced %d verdicts", len(got))
+	}
+
+	assertParity(t, makeBatch(t, rng, 1, 1), "single valid")
+	assertParity(t, makeBatch(t, rng, 64, 1), "all valid, one key")
+	assertParity(t, makeBatch(t, rng, 64, 5), "all valid, five keys")
+
+	cases := makeBatch(t, rng, 64, 3)
+	cases[17].sig[3] ^= 0x40
+	assertParity(t, cases, "one forged signature")
+
+	cases = makeBatch(t, rng, 32, 2)
+	for i := range cases {
+		cases[i].sig[rng.Intn(64)] ^= 1 << uint(rng.Intn(8))
+	}
+	assertParity(t, cases, "all forged")
+
+	cases = makeBatch(t, rng, 16, 2)
+	cases[5].pub = append([]byte(nil), cases[5].pub...)
+	cases[5].pub[0] ^= 0x02
+	assertParity(t, cases, "flipped pubkey")
+
+	cases = makeBatch(t, rng, 8, 1)
+	cases[2].sig = cases[2].sig[:40]
+	assertParity(t, cases, "truncated signature")
+
+	cases = makeBatch(t, rng, 8, 1)
+	cases[6].pub = cases[6].pub[:30]
+	assertParity(t, cases, "truncated pubkey")
+
+	// Non-canonical s: set the top bits so s >= l.
+	cases = makeBatch(t, rng, 8, 1)
+	for i := 32; i < 64; i++ {
+		cases[3].sig[i] = 0xff
+	}
+	assertParity(t, cases, "non-canonical s")
+
+	// Message tampering after signing.
+	cases = makeBatch(t, rng, 16, 2)
+	cases[9].msg[0] ^= 1
+	assertParity(t, cases, "tampered message")
+}
+
+// TestBatchVerifierRandomTampering is the randomized sweep: every
+// round tampers a random subset of entries in random ways and demands
+// verdict parity.
+func TestBatchVerifierRandomTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 30; round++ {
+		n := 1 + rng.Intn(40)
+		cases := makeBatch(t, rng, n, 1+rng.Intn(3))
+		for i := range cases {
+			switch rng.Intn(5) {
+			case 0: // leave valid
+			case 1:
+				cases[i].sig[rng.Intn(64)] ^= 1 << uint(rng.Intn(8))
+			case 2:
+				cases[i].msg[rng.Intn(len(cases[i].msg))] ^= 0x80
+			case 3:
+				cases[i].pub = append([]byte(nil), cases[i].pub...)
+				cases[i].pub[rng.Intn(32)] ^= 1
+			case 4:
+				cases[i].sig = cases[i].sig[:rng.Intn(64)]
+			}
+		}
+		assertParity(t, cases, fmt.Sprintf("random round %d", round))
+	}
+}
+
+// TestBatchVerifierHinted checks the hinted path end to end: correct
+// hints verify through the combination, corrupted hints fall back and
+// still yield the stdlib verdict.
+func TestBatchVerifierHinted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seed := make([]byte, 32)
+	rng.Read(seed)
+	var signer VartimeSigner
+	signer.Init(seed)
+
+	bv := NewBatchVerifier(NewDeterministicEntropy([]byte("hinted")))
+	var want []bool
+	for i := 0; i < 32; i++ {
+		msg := make([]byte, 100)
+		rng.Read(msg)
+		sig, hint := signer.Sign(msg)
+		switch i % 3 {
+		case 0: // honest hint
+			bv.AddHinted(signer.Public(), msg, sig[:], &hint)
+			want = append(want, true)
+		case 1: // corrupted hint over a valid signature
+			bad := hint
+			bad.x = hint.y // wrong coordinate entirely
+			bv.AddHinted(signer.Public(), msg, sig[:], &bad)
+			want = append(want, true) // fallback must still verify it
+		case 2: // honest hint over a forged signature
+			sig[7] ^= 1
+			bv.AddHinted(signer.Public(), msg, sig[:], &hint)
+			want = append(want, false)
+		}
+	}
+	got := bv.Flush()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hinted entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchVerifierDeterministic re-runs the same Add sequence and
+// demands identical verdicts: the coefficient stream is the only
+// randomness, and it is seeded.
+func TestBatchVerifierDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cases := makeBatch(t, rng, 40, 2)
+	cases[11].sig[0] ^= 1
+	a, _ := runBoth(cases, "det")
+	first := append([]bool(nil), a...)
+	b, _ := runBoth(cases, "det")
+	for i := range first {
+		if first[i] != b[i] {
+			t.Fatalf("verdict %d changed between identical runs", i)
+		}
+	}
+}
+
+// TestBatchVerifierReuse checks Reset + repeated Flush on one pooled
+// verifier, as the fleet scratch uses it.
+func TestBatchVerifierReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	bv := NewBatchVerifier(NewDeterministicEntropy([]byte("reuse-0")))
+	for epoch := 0; epoch < 3; epoch++ {
+		bv.Reset(NewDeterministicEntropy([]byte(fmt.Sprintf("reuse-%d", epoch))))
+		cases := makeBatch(t, rng, 16, 1)
+		bad := epoch % 2
+		cases[bad].sig[10] ^= 4
+		for _, c := range cases {
+			bv.Add(c.pub, c.msg, c.sig)
+		}
+		got := bv.Flush()
+		for i, c := range cases {
+			if want := c.pub.Verify(c.msg, c.sig); got[i] != want {
+				t.Fatalf("epoch %d entry %d: got %v, want %v", epoch, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestVartimeSignerMatchesKeyPair pins the fast signer against the
+// stdlib-backed KeyPair for identical bytes.
+func TestVartimeSignerMatchesKeyPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 20; i++ {
+		seed := make([]byte, 32)
+		rng.Read(seed)
+		kp, err := KeyPairFromSeed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vs VartimeSigner
+		vs.Init(seed)
+		if !vs.Public().Equal(kp.Public()) {
+			t.Fatalf("seed %x: public key mismatch", seed)
+		}
+		msg := make([]byte, 132)
+		rng.Read(msg)
+		sig, _ := vs.Sign(msg)
+		if want := kp.Sign(msg); string(sig[:]) != string(want) {
+			t.Fatalf("seed %x: signature mismatch\n got %x\nwant %x", seed, sig, want)
+		}
+	}
+}
+
+// FuzzBatchBisect fuzzes the bisect fallback: arbitrary tamper masks
+// over a fixed batch must never break verdict parity.
+func FuzzBatchBisect(f *testing.F) {
+	f.Add(uint64(0), []byte{0})
+	f.Add(uint64(3), []byte{0xff, 0x01})
+	f.Add(uint64(0xdeadbeef), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, caseSeed uint64, tamper []byte) {
+		if len(tamper) > 64 {
+			tamper = tamper[:64]
+		}
+		rng := rand.New(rand.NewSource(int64(caseSeed)))
+		n := 1 + len(tamper)%17
+		cases := makeBatch(t, rng, n, 1+int(caseSeed%3))
+		for i, tb := range tamper {
+			c := &cases[i%n]
+			switch tb % 4 {
+			case 1:
+				c.sig[int(tb)%64] ^= 1 << (tb % 8)
+			case 2:
+				c.msg[int(tb)%len(c.msg)] ^= tb
+			case 3:
+				c.pub = append([]byte(nil), c.pub...)
+				c.pub[int(tb)%32] ^= tb | 1
+			}
+		}
+		batch, single := runBoth(cases, fmt.Sprintf("fuzz-%d", caseSeed))
+		for i := range batch {
+			if batch[i] != single[i] {
+				t.Fatalf("entry %d: batch %v, single %v", i, batch[i], single[i])
+			}
+		}
+	})
+}
+
+// BenchmarkBatchVerify measures the amortised per-signature cost at
+// the issue's batch sizes, for all-valid, one-bad (bisect), and
+// all-bad (degenerate bisect) batches.
+func BenchmarkBatchVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	for _, size := range []int{16, 64, 256} {
+		cases := makeBatch(b, rng, size, 1)
+		for _, mode := range []string{"all-valid", "one-bad", "all-bad"} {
+			bad := append([]batchCase(nil), cases...)
+			switch mode {
+			case "one-bad":
+				bad[size/2].sig = append([]byte(nil), bad[size/2].sig...)
+				bad[size/2].sig[0] ^= 1
+			case "all-bad":
+				for i := range bad {
+					bad[i].sig = append([]byte(nil), bad[i].sig...)
+					bad[i].sig[0] ^= 1
+				}
+			}
+			b.Run(fmt.Sprintf("n=%d/%s", size, mode), func(b *testing.B) {
+				bv := NewBatchVerifier(NewDeterministicEntropy([]byte("bench")))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, c := range bad {
+						bv.Add(c.pub, c.msg, c.sig)
+					}
+					bv.Flush()
+				}
+				b.StopTimer()
+				perSig := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(size)
+				b.ReportMetric(perSig, "ns/sig")
+			})
+		}
+	}
+}
+
+// BenchmarkBatchVerifyHinted is the fleet hot-path shape: one shared
+// key, hinted R, batch of 256.
+func BenchmarkBatchVerifyHinted(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	seed := make([]byte, 32)
+	rng.Read(seed)
+	var signer VartimeSigner
+	signer.Init(seed)
+	const size = 256
+	msgs := make([][]byte, size)
+	sigs := make([][64]byte, size)
+	hints := make([]RHint, size)
+	for i := range msgs {
+		msgs[i] = make([]byte, 132)
+		rng.Read(msgs[i])
+		sigs[i], hints[i] = signer.Sign(msgs[i])
+	}
+	bv := NewBatchVerifier(NewDeterministicEntropy([]byte("bench-hinted")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < size; j++ {
+			bv.AddHinted(signer.Public(), msgs[j], sigs[j][:], &hints[j])
+		}
+		if got := bv.Flush(); !got[0] {
+			b.Fatal("valid batch failed")
+		}
+	}
+	b.StopTimer()
+	perSig := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(size)
+	b.ReportMetric(perSig, "ns/sig")
+}

@@ -7,6 +7,15 @@
 // (Table I, response row: "Key zeroisation"), and persistent-style
 // monotonic counters used for anti-rollback.
 //
+// Beyond the stdlib wrappers, the package owns the fleet hot path's
+// verification kernel: VartimeSigner (an RFC 8032 signer over the
+// in-repo edwards25519 arithmetic, byte-identical to crypto/ed25519,
+// that also emits decompressed R hints) and BatchVerifier, which
+// checks a batch of ed25519 signatures with one multi-scalar
+// multiplication over a seeded random linear combination, bisecting to
+// the stdlib verifier on failure so per-signature verdicts never
+// differ from the one-at-a-time path.
+//
 // Everything here is deterministic when given a deterministic entropy
 // source, which the simulator exploits for reproducible experiments.
 //

@@ -14,7 +14,8 @@ import (
 type DeterministicEntropy struct {
 	seed    Digest
 	counter uint64
-	buf     []byte
+	block   Digest
+	avail   int // unconsumed suffix length of block
 }
 
 var _ io.Reader = (*DeterministicEntropy)(nil)
@@ -31,23 +32,32 @@ func NewDeterministicEntropy(seed []byte) *DeterministicEntropy {
 func (d *DeterministicEntropy) Reset(seed []byte) {
 	d.seed = Sum(seed)
 	d.counter = 0
-	d.buf = nil
+	d.avail = 0
 }
 
-// Read fills p with pseudo-random bytes. It never fails.
+// Read fills p with pseudo-random bytes. It never fails, and it never
+// allocates: the batch verifier draws one coefficient per device from
+// this stream, so a heap-allocating refill would show up straight in
+// the fleet's allocs-per-device gate. The block derivation is kept
+// bit-identical to the original SumAll(seed, counter) formulation —
+// length-prefixed seed then length-prefixed counter — because every
+// committed golden transcript depends on this exact stream.
 func (d *DeterministicEntropy) Read(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
-		if len(d.buf) == 0 {
+		if d.avail == 0 {
 			d.counter++
-			var ctr [8]byte
-			binary.BigEndian.PutUint64(ctr[:], d.counter)
-			block := SumAll(d.seed[:], ctr[:])
-			d.buf = block[:]
+			var in [8 + DigestSize + 8 + 8]byte
+			binary.BigEndian.PutUint64(in[:8], DigestSize)
+			copy(in[8:], d.seed[:])
+			binary.BigEndian.PutUint64(in[8+DigestSize:], 8)
+			binary.BigEndian.PutUint64(in[8+DigestSize+8:], d.counter)
+			d.block = Sum(in[:])
+			d.avail = DigestSize
 		}
-		c := copy(p, d.buf)
+		c := copy(p, d.block[DigestSize-d.avail:])
 		p = p[c:]
-		d.buf = d.buf[c:]
+		d.avail -= c
 	}
 	return n, nil
 }

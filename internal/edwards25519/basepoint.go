@@ -1,0 +1,112 @@
+package edwards25519
+
+// basepointTable[i][j] holds (j+1) * 2^(8i) * B in mixed-addition
+// form, the classic 32x8 layout for signed radix-16 fixed-base
+// multiplication. Built once at init (the per-entry inversions cost
+// well under a millisecond and keep the table derivation obviously
+// equal to its definition).
+var basepointTable [32][8]AffineCached
+
+func affineCachedFromP3(p *Point) AffineCached {
+	var zInv Element
+	zInv.Invert(&p.z)
+	var a affinePoint
+	a.x.Mul(&p.x, &zInv)
+	a.y.Mul(&p.y, &zInv)
+	var c AffineCached
+	c.fromAffine(&a)
+	return c
+}
+
+func initBasepointTable() {
+	var base Point
+	base.setAffine(&genB)
+	for i := 0; i < 32; i++ {
+		q := base
+		for j := 0; j < 8; j++ {
+			basepointTable[i][j] = affineCachedFromP3(&q)
+			q.Add(&q, &base)
+		}
+		for k := 0; k < 8; k++ {
+			base.Double(&base)
+		}
+	}
+}
+
+// signedRadix16 decomposes s into 64 signed digits, s = sum e[i]*16^i
+// with e[i] in [-8, 8].
+func (s *Scalar) signedRadix16(e *[64]int8) {
+	b := s.Bytes()
+	for i := 0; i < 32; i++ {
+		e[2*i] = int8(b[i] & 15)
+		e[2*i+1] = int8((b[i] >> 4) & 15)
+	}
+	var carry int8
+	for i := 0; i < 63; i++ {
+		e[i] += carry
+		carry = (e[i] + 8) >> 4
+		e[i] -= carry << 4
+	}
+	e[63] += carry
+}
+
+func basepointTableAdd(v *Point, i int, e int8) {
+	switch {
+	case e > 0:
+		v.AddAffine(v, &basepointTable[i][e-1])
+	case e < 0:
+		v.SubAffine(v, &basepointTable[i][-e-1])
+	}
+}
+
+// ScalarBaseMultVartime sets v = s * B for the edwards25519 basepoint
+// B. Variable-time: table indices are data-dependent.
+func (v *Point) ScalarBaseMultVartime(s *Scalar) *Point {
+	var e [64]int8
+	s.signedRadix16(&e)
+	v.SetIdentity()
+	for i := 1; i < 64; i += 2 {
+		basepointTableAdd(v, i/2, e[i])
+	}
+	v.Double(v)
+	v.Double(v)
+	v.Double(v)
+	v.Double(v)
+	for i := 0; i < 64; i += 2 {
+		basepointTableAdd(v, i/2, e[i])
+	}
+	return v
+}
+
+// ScalarMultVartime sets v = s * p for an arbitrary point p, using
+// signed radix-16 digits over the cached small multiples 1p..8p.
+// Variable-time.
+func (v *Point) ScalarMultVartime(s *Scalar, p *Point) *Point {
+	var multiples [8]PointCached
+	var q Point
+	q = *p
+	for j := 0; j < 8; j++ {
+		multiples[j].FromPoint(&q)
+		if j < 7 {
+			q.Add(&q, p)
+		}
+	}
+	var e [64]int8
+	s.signedRadix16(&e)
+	v.SetIdentity()
+	for i := 63; i >= 0; i-- {
+		if i != 63 {
+			v.Double(v)
+			v.Double(v)
+			v.Double(v)
+			v.Double(v)
+		}
+		switch {
+		case e[i] > 0:
+			v.addCached(v, &multiples[e[i]-1])
+		case e[i] < 0:
+			v.subCached(v, &multiples[-e[i]-1])
+		}
+	}
+	return v
+}

@@ -1,0 +1,433 @@
+package edwards25519
+
+import "math/bits"
+
+// Element is an element of GF(2^255-19), in unsaturated radix-2^51
+// representation: v = l0 + l1*2^51 + l2*2^102 + l3*2^153 + l4*2^204.
+// Between operations limbs may exceed 51 bits; every arithmetic method
+// returns a value whose limbs are below 2^52 (a "light-reduced" form),
+// which every method also accepts as input.
+type Element struct {
+	l0, l1, l2, l3, l4 uint64
+}
+
+const maskLow51 = (1 << 51) - 1
+
+// feZero and feOne are the additive and multiplicative identities.
+var (
+	feZero = Element{}
+	feOne  = Element{l0: 1}
+)
+
+// Add sets v = a + b and returns v.
+func (v *Element) Add(a, b *Element) *Element {
+	v.l0 = a.l0 + b.l0
+	v.l1 = a.l1 + b.l1
+	v.l2 = a.l2 + b.l2
+	v.l3 = a.l3 + b.l3
+	v.l4 = a.l4 + b.l4
+	return v.carry(v)
+}
+
+// Sub sets v = a - b and returns v. It adds 2p first so limbs never
+// underflow: 2p = 2^256 - 38 has limbs (2^52-38, 2^52-2, ...).
+func (v *Element) Sub(a, b *Element) *Element {
+	v.l0 = (a.l0 + 0xFFFFFFFFFFFDA) - b.l0
+	v.l1 = (a.l1 + 0xFFFFFFFFFFFFE) - b.l1
+	v.l2 = (a.l2 + 0xFFFFFFFFFFFFE) - b.l2
+	v.l3 = (a.l3 + 0xFFFFFFFFFFFFE) - b.l3
+	v.l4 = (a.l4 + 0xFFFFFFFFFFFFE) - b.l4
+	return v.carry(v)
+}
+
+// Negate sets v = -a and returns v.
+func (v *Element) Negate(a *Element) *Element {
+	return v.Sub(&feZero, a)
+}
+
+// carry runs one carry chain, bringing every limb of a below 2^52
+// (assuming inputs below 2^57 or so, far above what Add/Sub produce).
+func (v *Element) carry(a *Element) *Element {
+	c0 := a.l0 >> 51
+	c1 := a.l1 >> 51
+	c2 := a.l2 >> 51
+	c3 := a.l3 >> 51
+	c4 := a.l4 >> 51
+
+	v.l0 = a.l0&maskLow51 + c4*19
+	v.l1 = a.l1&maskLow51 + c0
+	v.l2 = a.l2&maskLow51 + c1
+	v.l3 = a.l3&maskLow51 + c2
+	v.l4 = a.l4&maskLow51 + c3
+	return v
+}
+
+// mul64 returns a*b as a two-limb accumulator.
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+// addMul accumulates a*b into (hi, lo).
+func addMul(hi, lo, a, b uint64) (uint64, uint64) {
+	h, l := bits.Mul64(a, b)
+	lo, c := bits.Add64(lo, l, 0)
+	hi = hi + h + c
+	return hi, lo
+}
+
+// shiftRight51 returns (hi, lo) >> 51 (the accumulator carry-out).
+func shiftRight51(hi, lo uint64) uint64 {
+	return hi<<13 | lo>>51
+}
+
+// Mul sets v = a * b and returns v. Inputs may have limbs up to 2^54.
+func (v *Element) Mul(a, b *Element) *Element {
+	a0, a1, a2, a3, a4 := a.l0, a.l1, a.l2, a.l3, a.l4
+	b0, b1, b2, b3, b4 := b.l0, b.l1, b.l2, b.l3, b.l4
+
+	// Precompute 19*b_i for the wrapped products (2^255 = 19 mod p).
+	b1_19 := b1 * 19
+	b2_19 := b2 * 19
+	b3_19 := b3 * 19
+	b4_19 := b4 * 19
+
+	// r0 = a0*b0 + 19*(a1*b4 + a2*b3 + a3*b2 + a4*b1)
+	h0, l0 := mul64(a0, b0)
+	h0, l0 = addMul(h0, l0, a1, b4_19)
+	h0, l0 = addMul(h0, l0, a2, b3_19)
+	h0, l0 = addMul(h0, l0, a3, b2_19)
+	h0, l0 = addMul(h0, l0, a4, b1_19)
+
+	// r1 = a0*b1 + a1*b0 + 19*(a2*b4 + a3*b3 + a4*b2)
+	h1, l1 := mul64(a0, b1)
+	h1, l1 = addMul(h1, l1, a1, b0)
+	h1, l1 = addMul(h1, l1, a2, b4_19)
+	h1, l1 = addMul(h1, l1, a3, b3_19)
+	h1, l1 = addMul(h1, l1, a4, b2_19)
+
+	// r2 = a0*b2 + a1*b1 + a2*b0 + 19*(a3*b4 + a4*b3)
+	h2, l2 := mul64(a0, b2)
+	h2, l2 = addMul(h2, l2, a1, b1)
+	h2, l2 = addMul(h2, l2, a2, b0)
+	h2, l2 = addMul(h2, l2, a3, b4_19)
+	h2, l2 = addMul(h2, l2, a4, b3_19)
+
+	// r3 = a0*b3 + a1*b2 + a2*b1 + a3*b0 + 19*a4*b4
+	h3, l3 := mul64(a0, b3)
+	h3, l3 = addMul(h3, l3, a1, b2)
+	h3, l3 = addMul(h3, l3, a2, b1)
+	h3, l3 = addMul(h3, l3, a3, b0)
+	h3, l3 = addMul(h3, l3, a4, b4_19)
+
+	// r4 = a0*b4 + a1*b3 + a2*b2 + a3*b1 + a4*b0
+	h4, l4 := mul64(a0, b4)
+	h4, l4 = addMul(h4, l4, a1, b3)
+	h4, l4 = addMul(h4, l4, a2, b2)
+	h4, l4 = addMul(h4, l4, a3, b1)
+	h4, l4 = addMul(h4, l4, a4, b0)
+
+	return v.reduceWide(h0, l0, h1, l1, h2, l2, h3, l3, h4, l4)
+}
+
+// Square sets v = a * a and returns v.
+func (v *Element) Square(a *Element) *Element {
+	a0, a1, a2, a3, a4 := a.l0, a.l1, a.l2, a.l3, a.l4
+
+	a0_2 := a0 * 2
+	a1_2 := a1 * 2
+	a2_2 := a2 * 2
+	a3_2 := a3 * 2
+
+	a3_19 := a3 * 19
+	a4_19 := a4 * 19
+
+	// r0 = a0*a0 + 19*2*(a1*a4 + a2*a3)
+	h0, l0 := mul64(a0, a0)
+	h0, l0 = addMul(h0, l0, a1_2, a4_19)
+	h0, l0 = addMul(h0, l0, a2_2, a3_19)
+
+	// r1 = 2*a0*a1 + 19*(2*a2*a4 + a3*a3)
+	h1, l1 := mul64(a0_2, a1)
+	h1, l1 = addMul(h1, l1, a2_2, a4_19)
+	h1, l1 = addMul(h1, l1, a3, a3_19)
+
+	// r2 = 2*a0*a2 + a1*a1 + 19*2*a3*a4
+	h2, l2 := mul64(a0_2, a2)
+	h2, l2 = addMul(h2, l2, a1, a1)
+	h2, l2 = addMul(h2, l2, a3_2, a4_19)
+
+	// r3 = 2*a0*a3 + 2*a1*a2 + 19*a4*a4
+	h3, l3 := mul64(a0_2, a3)
+	h3, l3 = addMul(h3, l3, a1_2, a2)
+	h3, l3 = addMul(h3, l3, a4, a4_19)
+
+	// r4 = 2*a0*a4 + 2*a1*a3 + a2*a2
+	h4, l4 := mul64(a0_2, a4)
+	h4, l4 = addMul(h4, l4, a1_2, a3)
+	h4, l4 = addMul(h4, l4, a2, a2)
+
+	return v.reduceWide(h0, l0, h1, l1, h2, l2, h3, l3, h4, l4)
+}
+
+// reduceWide folds five 128-bit accumulators into light-reduced limbs.
+func (v *Element) reduceWide(h0, l0, h1, l1, h2, l2, h3, l3, h4, l4 uint64) *Element {
+	c0 := shiftRight51(h0, l0)
+	c1 := shiftRight51(h1, l1)
+	c2 := shiftRight51(h2, l2)
+	c3 := shiftRight51(h3, l3)
+	c4 := shiftRight51(h4, l4)
+
+	r0 := l0&maskLow51 + c4*19
+	r1 := l1&maskLow51 + c0
+	r2 := l2&maskLow51 + c1
+	r3 := l3&maskLow51 + c2
+	r4 := l4&maskLow51 + c3
+
+	// One light carry brings every limb under 2^52.
+	c := r0 >> 51
+	v.l0 = r0 & maskLow51
+	r1 += c
+	c = r1 >> 51
+	v.l1 = r1 & maskLow51
+	r2 += c
+	c = r2 >> 51
+	v.l2 = r2 & maskLow51
+	r3 += c
+	c = r3 >> 51
+	v.l3 = r3 & maskLow51
+	r4 += c
+	c = r4 >> 51
+	v.l4 = r4 & maskLow51
+	v.l0 += c * 19
+	return v
+}
+
+// reduce brings v to its canonical form, with every limb below 2^51
+// and the whole value below p.
+func (v *Element) reduce() *Element {
+	v.carry(v)
+	// After carry limbs are < 2^52; run one strict chain.
+	c := v.l0 >> 51
+	v.l0 &= maskLow51
+	v.l1 += c
+	c = v.l1 >> 51
+	v.l1 &= maskLow51
+	v.l2 += c
+	c = v.l2 >> 51
+	v.l2 &= maskLow51
+	v.l3 += c
+	c = v.l3 >> 51
+	v.l3 &= maskLow51
+	v.l4 += c
+	c = v.l4 >> 51
+	v.l4 &= maskLow51
+	v.l0 += c * 19
+
+	// Now v < 2^255 + small; conditionally subtract p until v < p.
+	// v >= p iff v + 19 >= 2^255.
+	for i := 0; i < 2; i++ {
+		c := (v.l0 + 19) >> 51
+		c = (v.l1 + c) >> 51
+		c = (v.l2 + c) >> 51
+		c = (v.l3 + c) >> 51
+		c = (v.l4 + c) >> 51
+		// c is 1 iff v >= p; subtract c*p = c*(2^255-19).
+		v.l0 += 19 * c
+		carry := v.l0 >> 51
+		v.l0 &= maskLow51
+		v.l1 += carry
+		carry = v.l1 >> 51
+		v.l1 &= maskLow51
+		v.l2 += carry
+		carry = v.l2 >> 51
+		v.l2 &= maskLow51
+		v.l3 += carry
+		carry = v.l3 >> 51
+		v.l3 &= maskLow51
+		v.l4 += carry
+		v.l4 &= maskLow51 // drops the 2^255 bit
+	}
+	return v
+}
+
+// Bytes returns the canonical 32-byte little-endian encoding of v.
+func (v *Element) Bytes() [32]byte {
+	t := *v
+	t.reduce()
+	var out [32]byte
+	putUint64LE(out[0:], t.l0|t.l1<<51)
+	putUint64LE(out[8:], t.l1>>13|t.l2<<38)
+	putUint64LE(out[16:], t.l2>>26|t.l3<<25)
+	putUint64LE(out[24:], t.l3>>39|t.l4<<12)
+	return out
+}
+
+// SetBytes decodes a canonical 32-byte little-endian encoding into v.
+// It reports false for a non-canonical encoding (value >= p, including
+// any use of the unused 256th bit), leaving v unspecified — stricter
+// than RFC 8032 decoding, which the batch verifier relies on: anything
+// this decoder rejects is routed to the stdlib-verify fallback, so
+// strictness can never diverge from crypto/ed25519's verdict.
+func (v *Element) SetBytes(x []byte) bool {
+	if len(x) != 32 {
+		return false
+	}
+	v.l0 = getUint64LE(x[0:]) & maskLow51
+	v.l1 = getUint64LE(x[6:]) >> 3 & maskLow51
+	v.l2 = getUint64LE(x[12:]) >> 6 & maskLow51
+	v.l3 = getUint64LE(x[19:]) >> 1 & maskLow51
+	v.l4 = getUint64LE(x[24:]) >> 12 & maskLow51
+	if x[31]>>7 != 0 {
+		return false // the sign/overflow bit is not part of a field encoding
+	}
+	// Canonical iff v < p: limbs are already < 2^51, so only the
+	// all-ones top pattern can exceed p.
+	if v.l4 == maskLow51 && v.l3 == maskLow51 && v.l2 == maskLow51 && v.l1 == maskLow51 && v.l0 >= maskLow51-18 {
+		return false
+	}
+	return true
+}
+
+func getUint64LE(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putUint64LE(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// IsNegative reports whether the canonical encoding of v has its low
+// bit set (the "sign" RFC 8032 stores in the top encoding bit).
+func (v *Element) IsNegative() bool {
+	b := v.Bytes()
+	return b[0]&1 == 1
+}
+
+// IsZero reports whether v == 0.
+func (v *Element) IsZero() bool {
+	b := v.Bytes()
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v == u.
+func (v *Element) Equal(u *Element) bool {
+	a, b := v.Bytes(), u.Bytes()
+	return a == b
+}
+
+// pow22523 sets v = a^((p-5)/8) = a^(2^252 - 3), the shared core of
+// inversion-free square roots.
+func (v *Element) pow22523(a *Element) *Element {
+	var t0, t1, t2 Element
+
+	t0.Square(a)             // a^2
+	t1.Square(&t0)           // a^4
+	t1.Square(&t1)           // a^8
+	t1.Mul(a, &t1)           // a^9
+	t0.Mul(&t0, &t1)         // a^11
+	t0.Square(&t0)           // a^22
+	t0.Mul(&t1, &t0)         // a^31 = a^(2^5-1)
+	t1.Square(&t0)           // a^(2^6-2)
+	for i := 1; i < 5; i++ { // a^(2^10-2^5)
+		t1.Square(&t1)
+	}
+	t0.Mul(&t1, &t0)          // a^(2^10-1)
+	t1.Square(&t0)            //
+	for i := 1; i < 10; i++ { // a^(2^20-2^10)
+		t1.Square(&t1)
+	}
+	t1.Mul(&t1, &t0)          // a^(2^20-1)
+	t2.Square(&t1)            //
+	for i := 1; i < 20; i++ { // a^(2^40-2^20)
+		t2.Square(&t2)
+	}
+	t1.Mul(&t2, &t1)          // a^(2^40-1)
+	t1.Square(&t1)            //
+	for i := 1; i < 10; i++ { // a^(2^50-2^10)
+		t1.Square(&t1)
+	}
+	t0.Mul(&t1, &t0)          // a^(2^50-1)
+	t1.Square(&t0)            //
+	for i := 1; i < 50; i++ { // a^(2^100-2^50)
+		t1.Square(&t1)
+	}
+	t1.Mul(&t1, &t0)           // a^(2^100-1)
+	t2.Square(&t1)             //
+	for i := 1; i < 100; i++ { // a^(2^200-2^100)
+		t2.Square(&t2)
+	}
+	t1.Mul(&t2, &t1)          // a^(2^200-1)
+	t1.Square(&t1)            //
+	for i := 1; i < 50; i++ { // a^(2^250-2^50)
+		t1.Square(&t1)
+	}
+	t0.Mul(&t1, &t0)     // a^(2^250-1)
+	t0.Square(&t0)       // a^(2^251-2)
+	t0.Square(&t0)       // a^(2^252-4)
+	return v.Mul(&t0, a) // a^(2^252-3)
+}
+
+// Invert sets v = a^-1 = a^(p-2) and returns v. Inverting zero yields
+// zero.
+func (v *Element) Invert(a *Element) *Element {
+	// p-2 = 2^255 - 21 = (2^252-3)*8 + 3: reuse the pow22523 chain.
+	var t, a2 Element
+	t.pow22523(a)         // a^(2^252-3)
+	t.Square(&t)          // a^(2^253-6)
+	t.Square(&t)          // a^(2^254-12)
+	t.Square(&t)          // a^(2^255-24)
+	a2.Square(a)          // a^2
+	a2.Mul(&a2, a)        // a^3
+	return v.Mul(&t, &a2) // a^(2^255-21)
+}
+
+// SqrtRatio sets v to the non-negative square root of u/w, returning
+// whether u/w was square. On a non-square it sets v to
+// sqrt(sqrtM1*u/w), matching the convention of RFC 9496 §4.2 (the
+// caller only uses v when ok is true).
+func (v *Element) SqrtRatio(u, w *Element) (ok bool) {
+	var v3, v7, r, check Element
+
+	v3.Square(w)   // w^2
+	v3.Mul(&v3, w) // w^3
+	v7.Square(&v3) // w^6
+	v7.Mul(&v7, w) // w^7
+	r.Mul(u, &v7)  // u*w^7
+	r.pow22523(&r) // (u*w^7)^((p-5)/8)
+	r.Mul(&r, &v3) // u^((p+3)/8) * w^((p-5)/8 * 8 + 3)… = candidate
+	r.Mul(&r, u)   // candidate root of u/w
+
+	check.Square(&r)     // r^2
+	check.Mul(&check, w) // w*r^2, should be ±u
+
+	var negU, mulM1 Element
+	negU.Negate(u)
+	switch {
+	case check.Equal(u):
+		ok = true
+	case check.Equal(&negU):
+		mulM1.Mul(&r, &sqrtM1)
+		r = mulM1
+		ok = true
+	default:
+		ok = false
+	}
+	if r.IsNegative() {
+		r.Negate(&r)
+	}
+	*v = r
+	return ok
+}

@@ -1,0 +1,210 @@
+package edwards25519
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// feP is the field order 2^255 - 19.
+var feP = func() *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), 255)
+	return p.Sub(p, big.NewInt(19))
+}()
+
+func feToBig(v *Element) *big.Int {
+	b := v.Bytes()
+	return bigFromLE(b[:])
+}
+
+func bigFromLE(b []byte) *big.Int {
+	be := make([]byte, len(b))
+	for i, x := range b {
+		be[len(b)-1-i] = x
+	}
+	return new(big.Int).SetBytes(be)
+}
+
+func bigToLE32(x *big.Int) []byte {
+	be := x.Bytes()
+	le := make([]byte, 32)
+	for i, b := range be {
+		le[len(be)-1-i] = b
+	}
+	return le
+}
+
+func feFromBig(t testing.TB, x *big.Int) *Element {
+	t.Helper()
+	var v Element
+	if !v.SetBytes(bigToLE32(new(big.Int).Mod(x, feP))) {
+		t.Fatalf("SetBytes rejected canonical %v", x)
+	}
+	return &v
+}
+
+func randBig(rng *rand.Rand) *big.Int {
+	b := make([]byte, 32)
+	rng.Read(b)
+	return new(big.Int).Mod(new(big.Int).SetBytes(b), feP)
+}
+
+// TestElementArithmeticMatchesBig cross-checks Add/Sub/Mul/Square/
+// Negate/Invert against math/big over random elements, including the
+// boundary values 0, 1, p-1 and p-2.
+func TestElementArithmeticMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(feP, big.NewInt(1)),
+		new(big.Int).Sub(feP, big.NewInt(2)),
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, randBig(rng))
+	}
+	for i, xa := range cases {
+		xb := cases[(i*7+3)%len(cases)]
+		a, b := feFromBig(t, xa), feFromBig(t, xb)
+
+		var got Element
+		got.Add(a, b)
+		want := new(big.Int).Mod(new(big.Int).Add(xa, xb), feP)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("add(%v, %v) = %v, want %v", xa, xb, feToBig(&got), want)
+		}
+		got.Sub(a, b)
+		want = new(big.Int).Mod(new(big.Int).Sub(xa, xb), feP)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("sub(%v, %v) = %v, want %v", xa, xb, feToBig(&got), want)
+		}
+		got.Mul(a, b)
+		want = new(big.Int).Mod(new(big.Int).Mul(xa, xb), feP)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("mul(%v, %v) = %v, want %v", xa, xb, feToBig(&got), want)
+		}
+		got.Square(a)
+		want = new(big.Int).Mod(new(big.Int).Mul(xa, xa), feP)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("square(%v) = %v, want %v", xa, feToBig(&got), want)
+		}
+		got.Negate(a)
+		want = new(big.Int).Mod(new(big.Int).Neg(xa), feP)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("negate(%v) = %v, want %v", xa, feToBig(&got), want)
+		}
+		if xa.Sign() != 0 {
+			got.Invert(a)
+			want = new(big.Int).ModInverse(xa, feP)
+			if feToBig(&got).Cmp(want) != 0 {
+				t.Fatalf("invert(%v) = %v, want %v", xa, feToBig(&got), want)
+			}
+		}
+	}
+}
+
+// TestElementSetBytesStrict pins the canonical-only decoding contract.
+func TestElementSetBytesStrict(t *testing.T) {
+	var v Element
+	// p itself and p+1 must be rejected.
+	for _, d := range []int64{0, 1, 18} {
+		enc := bigToLE32(new(big.Int).Add(feP, big.NewInt(d)))
+		if v.SetBytes(enc) {
+			t.Fatalf("SetBytes accepted p+%d", d)
+		}
+	}
+	// p-1 is canonical.
+	if !v.SetBytes(bigToLE32(new(big.Int).Sub(feP, big.NewInt(1)))) {
+		t.Fatal("SetBytes rejected p-1")
+	}
+	// The 256th bit is never canonical.
+	enc := bigToLE32(big.NewInt(1))
+	enc[31] |= 0x80
+	if v.SetBytes(enc) {
+		t.Fatal("SetBytes accepted a set high bit")
+	}
+	if v.SetBytes(make([]byte, 31)) {
+		t.Fatal("SetBytes accepted a short encoding")
+	}
+}
+
+// TestElementBytesRoundTrip checks Bytes∘SetBytes over random values.
+func TestElementBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := randBig(rng)
+		v := feFromBig(t, x)
+		got := v.Bytes()
+		var u Element
+		if !u.SetBytes(got[:]) {
+			t.Fatalf("round trip rejected %v", x)
+		}
+		if !u.Equal(v) {
+			t.Fatalf("round trip changed %v", x)
+		}
+	}
+}
+
+// TestSqrtRatio checks the square-root core against big.Int sqrt.
+func TestSqrtRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	squares, nonSquares := 0, 0
+	for i := 0; i < 100; i++ {
+		xu, xw := randBig(rng), randBig(rng)
+		if xw.Sign() == 0 {
+			continue
+		}
+		u, w := feFromBig(t, xu), feFromBig(t, xw)
+		var r Element
+		ok := r.SqrtRatio(u, w)
+		ratio := new(big.Int).Mul(xu, new(big.Int).ModInverse(xw, feP))
+		ratio.Mod(ratio, feP)
+		want := new(big.Int).ModSqrt(ratio, feP)
+		if (want != nil) != ok {
+			t.Fatalf("SqrtRatio(%v/%v) square = %v, want %v", xu, xw, ok, want != nil)
+		}
+		if ok {
+			squares++
+			got := feToBig(&r)
+			neg := new(big.Int).Mod(new(big.Int).Neg(want), feP)
+			if got.Cmp(want) != 0 && got.Cmp(neg) != 0 {
+				t.Fatalf("SqrtRatio(%v/%v) = %v, want ±%v", xu, xw, got, want)
+			}
+			if got.Bit(0) != 0 {
+				t.Fatalf("SqrtRatio returned a negative root %v", got)
+			}
+		} else {
+			nonSquares++
+		}
+	}
+	if squares == 0 || nonSquares == 0 {
+		t.Fatalf("degenerate sample: %d squares, %d non-squares", squares, nonSquares)
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := feFromBig(b, randBig(rng))
+	y := feFromBig(b, randBig(rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(x, y)
+	}
+}
+
+func BenchmarkFieldSquare(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := feFromBig(b, randBig(rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Square(x)
+	}
+}
+
+func BenchmarkFieldInvert(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := feFromBig(b, randBig(rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Invert(x)
+	}
+}

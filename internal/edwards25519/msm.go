@@ -1,0 +1,125 @@
+package edwards25519
+
+// Signed radix-2^6 Pippenger multi-scalar multiplication for the batch
+// verification inner sum. The coefficients are at most 128 bits (they
+// are the random linear-combination draws), so only 22 digit windows
+// exist; window 6 balances the n bucket insertions per window against
+// the 2*32 aggregation additions and is within a few percent of
+// optimal for the fleet batch size of 256.
+const (
+	msmWindow    = 6
+	msmDigits128 = 22
+	msmBuckets   = 32 // digits span [-32, 31]
+)
+
+// signedDigits6 writes the signed radix-2^6 decomposition of s into
+// dst: s = sum dst[i]*64^i with dst[i] in [-32, 31]. dst must be long
+// enough that the final carry is absorbed (22 digits for 128-bit
+// scalars).
+func (s *Scalar) signedDigits6(dst []int8) {
+	carry := 0
+	for i := range dst {
+		bit := uint(i) * msmWindow
+		limb := bit / 64
+		off := bit % 64
+		var d int
+		if limb < 4 {
+			d = int(s.limbs[limb]>>off) & 63
+			if off > 58 && limb < 3 {
+				d |= int(s.limbs[limb+1]<<(64-off)) & 63
+			}
+		}
+		d += carry
+		if d >= msmBuckets {
+			d -= 64
+			carry = 1
+		} else {
+			carry = 0
+		}
+		dst[i] = int8(d)
+	}
+	if carry != 0 {
+		panic("edwards25519: signedDigits6 overflow")
+	}
+}
+
+// MultiScalarMult128Vartime sets v = sum scalars[i] * points[i], where
+// every scalar is below 2^128 (the caller's contract; SetShortBytes
+// values qualify). digitScratch, if non-nil, provides reusable space
+// for the digit matrix so steady-state callers stay allocation-free;
+// pass nil to allocate internally. Variable-time.
+func (v *Point) MultiScalarMult128Vartime(scalars []Scalar, points []PointCached, digitScratch []int8) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: mismatched multi-scalar multiplication lengths")
+	}
+	n := len(scalars)
+	v.SetIdentity()
+	if n == 0 {
+		return v
+	}
+	need := n * msmDigits128
+	if cap(digitScratch) < need {
+		digitScratch = make([]int8, need)
+	}
+	digits := digitScratch[:need]
+	for i := range scalars {
+		if scalars[i].limbs[2]|scalars[i].limbs[3] != 0 {
+			panic("edwards25519: MultiScalarMult128Vartime scalar exceeds 128 bits")
+		}
+		scalars[i].signedDigits6(digits[i*msmDigits128 : (i+1)*msmDigits128])
+	}
+	var buckets [msmBuckets]Point
+	var occupied [msmBuckets]bool
+	for w := msmDigits128 - 1; w >= 0; w-- {
+		if w != msmDigits128-1 {
+			for k := 0; k < msmWindow; k++ {
+				v.Double(v)
+			}
+		}
+		for j := range occupied {
+			occupied[j] = false
+		}
+		top := -1
+		for i := 0; i < n; i++ {
+			d := digits[i*msmDigits128+w]
+			if d == 0 {
+				continue
+			}
+			j := int(d) - 1
+			neg := false
+			if d < 0 {
+				j = int(-d) - 1
+				neg = true
+			}
+			if !occupied[j] {
+				buckets[j].SetIdentity()
+				occupied[j] = true
+			}
+			if j > top {
+				top = j
+			}
+			if neg {
+				buckets[j].subCached(&buckets[j], &points[i])
+			} else {
+				buckets[j].addCached(&buckets[j], &points[i])
+			}
+		}
+		if top < 0 {
+			continue
+		}
+		// Weighted bucket aggregation: run accumulates the suffix sum
+		// of the buckets, so adding it once per index contributes each
+		// bucket with weight (index+1).
+		var run, sum Point
+		run.SetIdentity()
+		sum.SetIdentity()
+		for j := top; j >= 0; j-- {
+			if occupied[j] {
+				run.Add(&run, &buckets[j])
+			}
+			sum.Add(&sum, &run)
+		}
+		v.Add(v, &sum)
+	}
+	return v
+}

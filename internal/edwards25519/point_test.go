@@ -1,0 +1,244 @@
+package edwards25519
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha512"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// scalarFromSeed derives the clamped secret scalar the way Ed25519 key
+// generation does, reduced mod l.
+func scalarFromSeed(seed []byte) *Scalar {
+	h := sha512.Sum512(seed)
+	var wide [64]byte
+	copy(wide[:32], h[:32])
+	wide[0] &= 248
+	wide[31] &= 127
+	wide[31] |= 64
+	var s Scalar
+	s.SetUniformBytes(wide[:])
+	return &s
+}
+
+// TestScalarBaseMultMatchesStdlib pins the basepoint table and the
+// fixed-base multiply against crypto/ed25519 key generation.
+func TestScalarBaseMultMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 50; i++ {
+		seed := make([]byte, 32)
+		rng.Read(seed)
+		pub := ed25519.NewKeyFromSeed(seed).Public().(ed25519.PublicKey)
+		var p Point
+		p.ScalarBaseMultVartime(scalarFromSeed(seed))
+		if got := p.Bytes(); !bytes.Equal(got[:], pub) {
+			t.Fatalf("seed %x: ScalarBaseMult = %x, want %x", seed, got, pub)
+		}
+	}
+}
+
+// TestPointRoundTrip decompresses stdlib public keys and re-encodes
+// them.
+func TestPointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		seed := make([]byte, 32)
+		rng.Read(seed)
+		pub := ed25519.NewKeyFromSeed(seed).Public().(ed25519.PublicKey)
+		var p Point
+		if !p.SetBytes(pub) {
+			t.Fatalf("SetBytes rejected valid public key %x", pub)
+		}
+		if got := p.Bytes(); !bytes.Equal(got[:], pub) {
+			t.Fatalf("round trip %x -> %x", pub, got)
+		}
+	}
+}
+
+func TestPointSetBytesStrict(t *testing.T) {
+	var p Point
+	// A y coordinate >= p must be rejected: -1 mod p is canonical, but
+	// the same residue encoded as p-1+p is not representable; instead
+	// use the encoding of p itself (all bits of 2^255-19).
+	enc := bigToLE32(feP)
+	if p.SetBytes(enc) {
+		t.Fatal("SetBytes accepted a non-canonical y")
+	}
+	// y = 1 is the identity with x = 0; the sign bit variant encodes
+	// "negative zero" and must be rejected.
+	one := bigToLE32(big.NewInt(1))
+	if !p.SetBytes(one) {
+		t.Fatal("SetBytes rejected the identity")
+	}
+	if !p.IsIdentity() {
+		t.Fatal("identity encoding did not decode to the identity")
+	}
+	one[31] |= 0x80
+	if p.SetBytes(one) {
+		t.Fatal("SetBytes accepted negative zero")
+	}
+	// y = 2 is not on the curve.
+	two := bigToLE32(big.NewInt(2))
+	if p.SetBytes(two) {
+		t.Fatal("SetBytes accepted an off-curve y")
+	}
+	if p.SetBytes(make([]byte, 31)) {
+		t.Fatal("SetBytes accepted a short encoding")
+	}
+}
+
+// TestPointGroupLaws cross-checks Add, Double, Negate, and the two
+// scalar multipliers against each other.
+func TestPointGroupLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 20; i++ {
+		sa := randomScalar(rng)
+		sb := randomScalar(rng)
+		var pa, pb, sum, direct Point
+		pa.ScalarBaseMultVartime(sa)
+		pb.ScalarBaseMultVartime(sb)
+		sum.Add(&pa, &pb)
+		var sc Scalar
+		sc.Add(sa, sb)
+		direct.ScalarBaseMultVartime(&sc)
+		if sum.Bytes() != direct.Bytes() {
+			t.Fatal("aG + bG != (a+b)G")
+		}
+
+		var dbl Point
+		dbl.Double(&pa)
+		var two Scalar
+		two.Add(sa, sa)
+		direct.ScalarBaseMultVartime(&two)
+		if dbl.Bytes() != direct.Bytes() {
+			t.Fatal("2*(aG) != (2a)G")
+		}
+
+		var neg Point
+		neg.Negate(&pa)
+		neg.Add(&neg, &pa)
+		if !neg.IsIdentity() {
+			t.Fatal("aG + (-aG) != identity")
+		}
+
+		// Variable-base multiply against the fixed-base table:
+		// sb * (sa*B) == (sa*sb) * B.
+		var vb Point
+		vb.ScalarMultVartime(sb, &pa)
+		var prod Scalar
+		prod.Mul(sa, sb)
+		direct.ScalarBaseMultVartime(&prod)
+		if vb.Bytes() != direct.Bytes() {
+			t.Fatal("b*(aB) != (ab)B")
+		}
+	}
+}
+
+// TestMultiScalarMult checks the Pippenger path against a naive sum
+// at several sizes, including the empty batch.
+func TestMultiScalarMult(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 2, 3, 16, 257} {
+		scalars := make([]Scalar, n)
+		cached := make([]PointCached, n)
+		points := make([]Point, n)
+		var want Point
+		want.SetIdentity()
+		for i := 0; i < n; i++ {
+			zb := make([]byte, 16)
+			rng.Read(zb)
+			scalars[i].SetShortBytes(zb)
+			points[i].ScalarBaseMultVartime(randomScalar(rng))
+			cached[i].FromPoint(&points[i])
+			var term Point
+			term.ScalarMultVartime(&scalars[i], &points[i])
+			want.Add(&want, &term)
+		}
+		var got Point
+		got.MultiScalarMult128Vartime(scalars, cached, nil)
+		if got.Bytes() != want.Bytes() {
+			t.Fatalf("n=%d: MSM disagrees with naive sum", n)
+		}
+	}
+}
+
+// TestSetHinted checks the hint validation accepts exactly the true
+// affine preimage of an encoding.
+func TestSetHinted(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 20; i++ {
+		var p Point
+		p.ScalarBaseMultVartime(randomScalar(rng))
+		enc := p.Bytes()
+		var a affinePoint
+		if !a.decompress(enc[:]) {
+			t.Fatal("decompress rejected own encoding")
+		}
+		var q Point
+		if !q.SetHinted(&a.x, &a.y, &enc) {
+			t.Fatal("SetHinted rejected the true hint")
+		}
+		if q.Bytes() != enc {
+			t.Fatal("SetHinted produced a different point")
+		}
+		// A hint for a different point must be rejected even though it
+		// is on the curve.
+		var wrong Point
+		wrong.Double(&p)
+		wenc := wrong.Bytes()
+		var wa affinePoint
+		if !wa.decompress(wenc[:]) {
+			t.Fatal("decompress rejected own encoding")
+		}
+		if q.SetHinted(&wa.x, &wa.y, &enc) {
+			t.Fatal("SetHinted accepted a mismatched hint")
+		}
+		// An off-curve coordinate pair must be rejected.
+		var offX Element
+		offX.Add(&a.x, &feOne)
+		if q.SetHinted(&offX, &a.y, &enc) {
+			t.Fatal("SetHinted accepted an off-curve hint")
+		}
+	}
+}
+
+func randomScalar(rng *rand.Rand) *Scalar {
+	b := make([]byte, 64)
+	rng.Read(b)
+	var s Scalar
+	s.SetUniformBytes(b)
+	return &s
+}
+
+func BenchmarkScalarBaseMult(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	s := randomScalar(rng)
+	var p Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ScalarBaseMultVartime(s)
+	}
+}
+
+func BenchmarkMultiScalarMult256(b *testing.B) {
+	rng := rand.New(rand.NewSource(26))
+	const n = 256
+	scalars := make([]Scalar, n)
+	cached := make([]PointCached, n)
+	for i := 0; i < n; i++ {
+		zb := make([]byte, 16)
+		rng.Read(zb)
+		scalars[i].SetShortBytes(zb)
+		var p Point
+		p.ScalarBaseMultVartime(randomScalar(rng))
+		cached[i].FromPoint(&p)
+	}
+	scratch := make([]int8, n*msmDigits128)
+	var out Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.MultiScalarMult128Vartime(scalars, cached, scratch)
+	}
+}

@@ -1,0 +1,76 @@
+package edwards25519
+
+import "crypto/sha512"
+
+// Signer produces RFC 8032 Ed25519 signatures byte-identical to
+// crypto/ed25519.Sign, using the package's variable-time arithmetic,
+// and additionally exposes the affine R point as a decompression hint
+// for BatchVerifier-style consumers. See the package comment for the
+// variable-time caveat.
+type Signer struct {
+	a      Scalar
+	prefix [32]byte
+	pub    [32]byte
+	buf    []byte // pooled hash-input buffer, so Sign stays alloc-free
+}
+
+// Init derives the signing state from a 32-byte Ed25519 seed.
+func (sg *Signer) Init(seed []byte) {
+	if len(seed) != 32 {
+		panic("edwards25519: Signer seed is not 32 bytes")
+	}
+	h := sha512.Sum512(seed)
+	var clamped [64]byte
+	copy(clamped[:32], h[:32])
+	clamped[0] &= 248
+	clamped[31] &= 127
+	clamped[31] |= 64
+	// The clamped scalar is used modulo the group order; reducing it
+	// here keeps every later use canonical.
+	sg.a.SetUniformBytes(clamped[:])
+	copy(sg.prefix[:], h[32:])
+	var A Point
+	A.ScalarBaseMultVartime(&sg.a)
+	sg.pub = A.Bytes()
+}
+
+// PublicKey returns the 32-byte public key encoding.
+func (sg *Signer) PublicKey() [32]byte { return sg.pub }
+
+// Sign signs msg, returning the 64-byte signature along with the
+// affine coordinates of the commitment point R. The signature bytes
+// are exactly what crypto/ed25519.Sign would produce for the same
+// seed and message; the coordinates let a verifier skip decompressing
+// R from the signature.
+func (sg *Signer) Sign(msg []byte) (sig [64]byte, rx, ry Element) {
+	sg.buf = append(sg.buf[:0], sg.prefix[:]...)
+	sg.buf = append(sg.buf, msg...)
+	rDigest := sha512.Sum512(sg.buf)
+	var r Scalar
+	r.SetUniformBytes(rDigest[:])
+
+	var R Point
+	R.ScalarBaseMultVartime(&r)
+	var zInv Element
+	zInv.Invert(&R.z)
+	rx.Mul(&R.x, &zInv)
+	ry.Mul(&R.y, &zInv)
+	rEnc := ry.Bytes()
+	if rx.IsNegative() {
+		rEnc[31] |= 0x80
+	}
+
+	sg.buf = append(sg.buf[:0], rEnc[:]...)
+	sg.buf = append(sg.buf, sg.pub[:]...)
+	sg.buf = append(sg.buf, msg...)
+	hDigest := sha512.Sum512(sg.buf)
+	var k, s Scalar
+	k.SetUniformBytes(hDigest[:])
+	s.Mul(&k, &sg.a)
+	s.Add(&s, &r)
+
+	copy(sig[:32], rEnc[:])
+	sBytes := s.Bytes()
+	copy(sig[32:], sBytes[:])
+	return sig, rx, ry
+}

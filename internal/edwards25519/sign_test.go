@@ -1,0 +1,54 @@
+package edwards25519
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"math/rand"
+	"testing"
+)
+
+// TestSignerMatchesStdlib pins the vartime signer bit-for-bit against
+// crypto/ed25519.Sign, and checks the emitted hint decodes to the
+// signature's R.
+func TestSignerMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 50; i++ {
+		seed := make([]byte, 32)
+		rng.Read(seed)
+		msg := make([]byte, rng.Intn(200))
+		rng.Read(msg)
+
+		priv := ed25519.NewKeyFromSeed(seed)
+		want := ed25519.Sign(priv, msg)
+
+		var sg Signer
+		sg.Init(seed)
+		if pub := sg.PublicKey(); !bytes.Equal(pub[:], priv.Public().(ed25519.PublicKey)) {
+			t.Fatalf("seed %x: public key mismatch", seed)
+		}
+		sig, rx, ry := sg.Sign(msg)
+		if !bytes.Equal(sig[:], want) {
+			t.Fatalf("seed %x msg %x:\n got %x\nwant %x", seed, msg, sig, want)
+		}
+		var rEnc [32]byte
+		copy(rEnc[:], sig[:32])
+		var r Point
+		if !r.SetHinted(&rx, &ry, &rEnc) {
+			t.Fatalf("seed %x: hint does not decode to the signature R", seed)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	seed := make([]byte, 32)
+	rng.Read(seed)
+	msg := make([]byte, 132)
+	rng.Read(msg)
+	var sg Signer
+	sg.Init(seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = sg.Sign(msg)
+	}
+}

@@ -48,12 +48,13 @@ var (
 // a pure function of (fleet seed, purpose, global index). Batch and
 // shard boundaries can never reshuffle a device's fate.
 const (
-	purposeMix     = -(iota + 2) // share assignment
-	purposeTamper                // tamper-rate draw
-	purposeJitter                // round-trip jitter
-	purposeNonce                 // challenge nonces (two draws per device)
-	purposeEntropy               // device TPM entropy (two draws per device)
-	purposeSample                // anomaly-sample priority
+	purposeMix        = -(iota + 2) // share assignment
+	purposeTamper                   // tamper-rate draw
+	purposeJitter                   // round-trip jitter
+	purposeNonce                    // challenge nonces (two draws per device)
+	purposeEntropy                  // device TPM entropy (two draws per device)
+	purposeSample                   // anomaly-sample priority
+	purposeBatchCoeff               // batch-verify linear-combination coefficients (per epoch)
 )
 
 // Share is one slice of the fleet's device mix.
@@ -198,7 +199,7 @@ type Engine struct {
 
 	mixRoot, tamperRoot, jitterRoot int64
 	nonceRoot, entropyRoot          int64
-	sampleRoot                      int64
+	sampleRoot, coeffRoot           int64
 }
 
 // New validates the config and builds an engine.
@@ -215,6 +216,7 @@ func New(cfg Config) (*Engine, error) {
 		nonceRoot:   harness.ShardSeed(cfg.Seed, purposeNonce),
 		entropyRoot: harness.ShardSeed(cfg.Seed, purposeEntropy),
 		sampleRoot:  harness.ShardSeed(cfg.Seed, purposeSample),
+		coeffRoot:   harness.ShardSeed(cfg.Seed, purposeBatchCoeff),
 	}
 	cum := 0.0
 	for _, sh := range cfg.Shares {
@@ -326,6 +328,8 @@ type pending struct {
 	arrive   time.Duration
 	dispatch time.Duration
 	index    int
+	variant  int
+	tampered bool
 	reason   uint8
 }
 
@@ -340,7 +344,9 @@ type pending struct {
 type appraiseScratch struct {
 	batches []*attest.BatchAppraiser // one per engine variant
 	entropy *cryptoutil.DeterministicEntropy
-	kp      *cryptoutil.KeyPair
+	coeff   *cryptoutil.DeterministicEntropy // batch-verify coefficient stream — never shared with entropy
+	signer  cryptoutil.VartimeSigner
+	bv      *cryptoutil.BatchVerifier
 	aik     cryptoutil.PublicKey
 	queue   []pending
 	seedBuf [nonceLen]byte
@@ -350,12 +356,18 @@ type appraiseScratch struct {
 
 // newScratch builds the per-shard scratch: private working copies of
 // every compiled boot variant plus the reusable key-derivation state.
+// Both entropy readers are private to the scratch — RunShard calls run
+// concurrently, so sharing a reader (or its Reset) across shards would
+// be a data race AND would entangle shard outputs; see
+// TestScratchEntropyIsolation in batch_race_test.go.
 func (e *Engine) newScratch() *appraiseScratch {
 	sc := &appraiseScratch{
 		batches: make([]*attest.BatchAppraiser, len(e.variants)),
 		entropy: cryptoutil.NewDeterministicEntropy(nil),
+		coeff:   cryptoutil.NewDeterministicEntropy(nil),
 		queue:   make([]pending, 0, e.cfg.BatchSize),
 	}
+	sc.bv = cryptoutil.NewBatchVerifier(sc.coeff)
 	for i, v := range e.variants {
 		sc.batches[i] = v.Batch()
 	}
@@ -376,22 +388,29 @@ func (sc *appraiseScratch) provision(e *Engine, lo int) error {
 	if _, err := sc.entropy.Read(sc.keySeed[:]); err != nil {
 		return fmt.Errorf("fleet: provision epoch %d: %w", lo, err)
 	}
-	kp, err := cryptoutil.KeyPairFromSeed(sc.keySeed[:])
-	if err != nil {
-		return fmt.Errorf("fleet: provision epoch %d: %w", lo, err)
-	}
-	sc.kp = kp
-	sc.aik = kp.Public()
+	sc.signer.Init(sc.keySeed[:])
+	sc.aik = sc.signer.Public()
+
+	// Re-key the batch-verify coefficient stream for the epoch from its
+	// own purpose root. The coefficients are sound with ANY stream, but
+	// deriving them from (seed, epoch) keeps the whole run — including
+	// which random linear combination each batch checks — byte-for-byte
+	// reproducible at every -parallel width.
+	binary.BigEndian.PutUint64(sc.seedBuf[:8], uint64(harness.ShardSeed(e.coeffRoot, 2*lo)))
+	binary.BigEndian.PutUint64(sc.seedBuf[8:], uint64(harness.ShardSeed(e.coeffRoot, 2*lo+1)))
+	sc.coeff.Reset(sc.seedBuf[:])
+	sc.bv.Reset(sc.coeff)
 	return nil
 }
 
-// appraise runs one device's attestation exchange on the batched hot
-// path — fresh per-device nonce, a real signature over the device's
-// canonical quote body, full signature verification plus the compiled
-// policy verdict — and returns the outcome code.
-func (sc *appraiseScratch) appraise(e *Engine, index int) (uint8, error) {
-	tampered := e.Tampered(index)
-	variant := len(sc.batches) - 1 // the implanted boot state
+// enqueue runs the device side of one attestation exchange on the
+// batched hot path — fresh per-device nonce, a real signature over the
+// device's canonical quote body — and queues the signature on the
+// scratch's batch verifier. The verifier-side verdict, and therefore
+// the outcome code, lands in resolveBatch once the epoch flushes.
+func (sc *appraiseScratch) enqueue(e *Engine, index int) (variant int, tampered bool, err error) {
+	tampered = e.Tampered(index)
+	variant = len(sc.batches) - 1 // the implanted boot state
 	if !tampered {
 		variant = e.ShareOf(index)
 	}
@@ -399,20 +418,36 @@ func (sc *appraiseScratch) appraise(e *Engine, index int) (uint8, error) {
 
 	binary.BigEndian.PutUint64(sc.nonce[:8], uint64(harness.ShardSeed(e.nonceRoot, 2*index)))
 	binary.BigEndian.PutUint64(sc.nonce[8:], uint64(harness.ShardSeed(e.nonceRoot, 2*index+1)))
-	sig, err := b.Sign(sc.kp, sc.nonce[:])
+	sig, hint, err := b.SignFast(&sc.signer, sc.nonce[:])
 	if err != nil {
-		return 0, fmt.Errorf("fleet: device %d: quote: %w", index, err)
+		return 0, false, fmt.Errorf("fleet: device %d: quote: %w", index, err)
 	}
-	untrusted := b.Appraise(sc.aik, sc.nonce[:], sig) != nil
-	switch {
-	case tampered && untrusted:
-		return ReasonCaught, nil
-	case tampered:
-		return ReasonMissed, nil
-	case untrusted:
-		return ReasonFalseAlarm, nil
-	default:
-		return ReasonHealthy, nil
+	if err := b.Enqueue(sc.bv, sc.aik, sc.nonce[:], sig[:], &hint); err != nil {
+		return 0, false, fmt.Errorf("fleet: device %d: quote: %w", index, err)
+	}
+	return variant, tampered, nil
+}
+
+// resolveBatch flushes the scratch's batch verifier — one random-
+// linear-combination check standing in for one signature verification
+// per queued device — and maps each verdict to its outcome code. The
+// queue must still be in enqueue order: entry j of the flush answers
+// queue[j].
+func (sc *appraiseScratch) resolveBatch() {
+	sigOK := sc.bv.Flush()
+	for j := range sc.queue {
+		p := &sc.queue[j]
+		untrusted := sc.batches[p.variant].Resolve(sigOK[j]) != nil
+		switch {
+		case p.tampered && untrusted:
+			p.reason = ReasonCaught
+		case p.tampered:
+			p.reason = ReasonMissed
+		case untrusted:
+			p.reason = ReasonFalseAlarm
+		default:
+			p.reason = ReasonHealthy
+		}
 	}
 }
 
@@ -449,7 +484,7 @@ func (e *Engine) RunShard(shard int) (Summary, error) {
 		}
 		sc.queue = sc.queue[:0]
 		for i := b; i < bHi; i++ {
-			reason, err := sc.appraise(e, i)
+			variant, tampered, err := sc.enqueue(e, i)
 			if err != nil {
 				return Summary{}, err
 			}
@@ -458,9 +493,13 @@ func (e *Engine) RunShard(shard int) (Summary, error) {
 				arrive:   dispatch + 2*e.cfg.Latency + e.jitterOf(i),
 				dispatch: dispatch,
 				index:    i,
-				reason:   reason,
+				variant:  variant,
+				tampered: tampered,
 			})
 		}
+		// One flush settles the whole epoch's signatures before the
+		// arrival sort reorders the queue.
+		sc.resolveBatch()
 		// Serial appraisal in arrival order; ties break by index so the
 		// sweep is deterministic.
 		queue := sc.queue
