@@ -36,6 +36,15 @@
 // no normalization applies; reports lacking the field (older
 // artifacts, -only E9 runs) skip the gate with a note.
 //
+// A fifth check gates the E15 verifier-hierarchy sweep (the hierarchy
+// section): every injected lying verifier in the fresh report must be
+// attributed and healed (a correctness invariant, checked regardless
+// of the baseline), and when the baseline also records the section,
+// per-shape signature counts and detection lags — deterministic
+// virtual-time quantities — must not grow beyond -max-regress.
+// Reports without the section (baselines predating the hierarchy, or
+// runs without E15) skip the comparison with a note.
+//
 // Usage:
 //
 //	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-max-fleet-allocs 4] [-normalize]
@@ -51,9 +60,25 @@ import (
 // benchFile mirrors the cresbench BENCH_perf.json schema (the fields
 // benchdiff consumes).
 type benchFile struct {
-	Schema string     `json:"schema"`
-	E9     benchE9    `json:"e9"`
-	Fleet  benchFleet `json:"fleet"`
+	Schema    string          `json:"schema"`
+	E9        benchE9         `json:"e9"`
+	Fleet     benchFleet      `json:"fleet"`
+	Hierarchy *benchHierarchy `json:"hierarchy"`
+}
+
+type benchHierarchy struct {
+	TotalSigChecks int                 `json:"total_sig_checks"`
+	MaxDetectLagMs float64             `json:"max_detect_lag_ms"`
+	Rows           []benchHierarchyRow `json:"rows"`
+}
+
+type benchHierarchyRow struct {
+	Depth       int     `json:"depth"`
+	Fanout      int     `json:"fanout"`
+	SigChecks   int     `json:"sig_checks"`
+	DetectLagMs float64 `json:"detect_lag_ms"`
+	Attributed  bool    `json:"attributed"`
+	Healed      bool    `json:"healed"`
 }
 
 type benchFleet struct {
@@ -114,6 +139,9 @@ func run(basePath, newPath string, maxRegress, maxFleetRegress, maxFleetAllocs f
 	allocProblems, allocLines := compareFleetAllocs(base, fresh, maxFleetAllocs)
 	problems = append(problems, allocProblems...)
 	lines = append(lines, allocLines...)
+	hierProblems, hierLines := compareHierarchy(base, fresh, maxRegress)
+	problems = append(problems, hierProblems...)
+	lines = append(lines, hierLines...)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
@@ -276,6 +304,60 @@ func compareFleetAllocs(base, fresh *benchFile, maxAllocs float64) (problems, li
 	lines = append(lines,
 		fmt.Sprintf("Fleet allocations (allocs/device, budget %.0f):", maxAllocs),
 		fmt.Sprintf("  %-32s %10s -> %10.2f  %s", "streaming-attestation", baseStr, fresh.Fleet.AllocsPerDevice, status))
+	return problems, lines
+}
+
+// compareHierarchy gates the E15 verifier-hierarchy sweep. Two kinds
+// of check: correctness invariants on the fresh report alone (every
+// injected liar must be attributed and the summary healed — a false
+// there is a broken hierarchy, whatever the baseline says), and a
+// shape-for-shape cost comparison when the baseline also has the
+// section: E15's signature counts and detection lags are virtual-time
+// quantities, deterministic per shape, so growth beyond maxRegress
+// means the protocol got structurally more expensive. A report
+// without the section — a baseline from before the hierarchy existed,
+// or a fresh run restricted to -only E9 — skips the comparison with a
+// note, same pattern as the fleet-allocs gate.
+func compareHierarchy(base, fresh *benchFile, maxRegress float64) (problems, lines []string) {
+	if fresh.Hierarchy == nil {
+		return nil, []string{"hierarchy gate skipped: fresh report has no hierarchy section (select E15 when generating it)"}
+	}
+	for _, r := range fresh.Hierarchy.Rows {
+		if !r.Attributed {
+			problems = append(problems, fmt.Sprintf("hierarchy %dx%d: lying verifier not attributed", r.Depth, r.Fanout))
+		}
+		if !r.Healed {
+			problems = append(problems, fmt.Sprintf("hierarchy %dx%d: excision did not heal the fleet summary", r.Depth, r.Fanout))
+		}
+	}
+	if base.Hierarchy == nil {
+		return problems, []string{"hierarchy cost comparison skipped: baseline predates the hierarchy section"}
+	}
+	baseRows := make(map[[2]int]benchHierarchyRow, len(base.Hierarchy.Rows))
+	for _, r := range base.Hierarchy.Rows {
+		baseRows[[2]int{r.Depth, r.Fanout}] = r
+	}
+	lines = append(lines, fmt.Sprintf("Hierarchy comparison (sig checks and detect lag per shape, limit +%.0f%%):", maxRegress*100))
+	for _, fr := range fresh.Hierarchy.Rows {
+		br, ok := baseRows[[2]int{fr.Depth, fr.Fanout}]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %dx%-29d %23s  new shape", fr.Depth, fr.Fanout, ""))
+			continue
+		}
+		status := "ok"
+		if br.SigChecks > 0 && float64(fr.SigChecks)/float64(br.SigChecks)-1 > maxRegress {
+			status = "REGRESSION"
+			problems = append(problems, fmt.Sprintf("hierarchy %dx%d: sig checks %d -> %d (limit +%.0f%%)",
+				fr.Depth, fr.Fanout, br.SigChecks, fr.SigChecks, maxRegress*100))
+		}
+		if br.DetectLagMs > 0 && fr.DetectLagMs/br.DetectLagMs-1 > maxRegress {
+			status = "REGRESSION"
+			problems = append(problems, fmt.Sprintf("hierarchy %dx%d: detect lag %.3fms -> %.3fms (limit +%.0f%%)",
+				fr.Depth, fr.Fanout, br.DetectLagMs, fr.DetectLagMs, maxRegress*100))
+		}
+		lines = append(lines, fmt.Sprintf("  %dx%-30d %6d -> %6d checks, %8.3f -> %8.3f ms lag  %s",
+			fr.Depth, fr.Fanout, br.SigChecks, fr.SigChecks, br.DetectLagMs, fr.DetectLagMs, status))
+	}
 	return problems, lines
 }
 

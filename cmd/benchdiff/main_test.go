@@ -212,6 +212,79 @@ func TestCompareFleetAllocsGate(t *testing.T) {
 	}
 }
 
+// withHierarchy attaches an E15 hierarchy section to a report.
+func withHierarchy(f *benchFile, rows ...benchHierarchyRow) *benchFile {
+	f.Hierarchy = &benchHierarchy{Rows: rows}
+	for _, r := range rows {
+		f.Hierarchy.TotalSigChecks += r.SigChecks
+		if r.DetectLagMs > f.Hierarchy.MaxDetectLagMs {
+			f.Hierarchy.MaxDetectLagMs = r.DetectLagMs
+		}
+	}
+	return f
+}
+
+func hierRow(depth, fanout, checks int, lagMs float64) benchHierarchyRow {
+	return benchHierarchyRow{Depth: depth, Fanout: fanout, SigChecks: checks, DetectLagMs: lagMs, Attributed: true, Healed: true}
+}
+
+// TestCompareHierarchyGate pins the E15 gate: matching shapes pass,
+// cost growth beyond the limit fails, and a broken correctness
+// invariant (unattributed liar, unhealed summary) fails regardless of
+// the baseline.
+func TestCompareHierarchyGate(t *testing.T) {
+	base := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 41, 0.71), hierRow(3, 2, 29, 0.57))
+	same := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 41, 0.71), hierRow(3, 2, 29, 0.57))
+	if problems, _ := compareHierarchy(base, same, 0.25); len(problems) != 0 {
+		t.Fatalf("identical hierarchy flagged: %v", problems)
+	}
+
+	costlier := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 80, 0.71), hierRow(3, 2, 29, 1.9))
+	problems, _ := compareHierarchy(base, costlier, 0.25)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want a sig-check and a detect-lag regression", problems)
+	}
+
+	broken := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 41, 0.71))
+	broken.Hierarchy.Rows[0].Attributed = false
+	broken.Hierarchy.Rows[0].Healed = false
+	problems, _ = compareHierarchy(base, broken, 0.25)
+	if len(problems) != 2 || !strings.Contains(strings.Join(problems, "; "), "attributed") {
+		t.Fatalf("problems = %v, want attribution + healing failures", problems)
+	}
+}
+
+// TestCompareHierarchySkipsWithoutSection pins the back-compat
+// contract: a baseline from before the hierarchy existed skips the
+// cost comparison (but still checks fresh invariants), and a fresh
+// report without E15 skips entirely.
+func TestCompareHierarchySkipsWithoutSection(t *testing.T) {
+	plain := report(row("no-monitoring", 16, 0))
+	withH := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 41, 0.71))
+
+	problems, lines := compareHierarchy(plain, withH, 0.25)
+	if len(problems) != 0 {
+		t.Fatalf("pre-hierarchy baseline treated as regression: %v", problems)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "predates") {
+		t.Fatalf("lines = %v, want a single predates-section note", lines)
+	}
+	// Fresh invariants still gate even against a pre-hierarchy baseline.
+	bad := withHierarchy(report(row("no-monitoring", 16, 0)), hierRow(2, 4, 41, 0.71))
+	bad.Hierarchy.Rows[0].Healed = false
+	if problems, _ := compareHierarchy(plain, bad, 0.25); len(problems) != 1 {
+		t.Fatalf("problems = %v, want the healing failure despite legacy baseline", problems)
+	}
+
+	problems, lines = compareHierarchy(withH, plain, 0.25)
+	if len(problems) != 0 {
+		t.Fatalf("E15-less fresh report treated as regression: %v", problems)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "skipped") {
+		t.Fatalf("lines = %v, want a single skip note", lines)
+	}
+}
+
 // TestCompareFleetSkipsWithoutSection pins the back-compat contract:
 // a baseline generated before the fleet field existed, or a fresh
 // report from an -only E9 run, must skip the gate — not fail it.

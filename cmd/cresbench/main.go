@@ -84,11 +84,15 @@ func main() {
 
 // benchReport is the schema of BENCH_perf.json.
 type benchReport struct {
-	Schema      string            `json:"schema"`
-	Seed        int64             `json:"seed"`
-	Quick       bool              `json:"quick"`
-	E9          benchE9           `json:"e9"`
-	Fleet       benchFleet        `json:"fleet"`
+	Schema string     `json:"schema"`
+	Seed   int64      `json:"seed"`
+	Quick  bool       `json:"quick"`
+	E9     benchE9    `json:"e9"`
+	Fleet  benchFleet `json:"fleet"`
+	// Hierarchy records the E15 verifier-tree sweep; nil in artifacts
+	// from before the hierarchy existed, which benchdiff treats as
+	// "skip", not "fail".
+	Hierarchy   *benchHierarchy   `json:"hierarchy,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 }
 
@@ -162,6 +166,49 @@ func fleetSection(res *cres.E8Result) benchFleet {
 		})
 	}
 	return f
+}
+
+// benchHierarchy records the E15 hierarchical re-attestation sweep:
+// per-shape detection latency for a lying mid-tier verifier plus the
+// signature-check cost of the guarantee. Every number is virtual-time
+// or a count, so the section is byte-stable across hosts.
+type benchHierarchy struct {
+	TotalSigChecks int                 `json:"total_sig_checks"`
+	MaxDetectLagMs float64             `json:"max_detect_lag_ms"`
+	Rows           []benchHierarchyRow `json:"rows"`
+}
+
+type benchHierarchyRow struct {
+	Depth       int     `json:"depth"`
+	Fanout      int     `json:"fanout"`
+	Leaves      int     `json:"leaves"`
+	Devices     int     `json:"devices"`
+	SigChecks   int     `json:"sig_checks"`
+	MaxHeld     int     `json:"max_held"`
+	DetectLagMs float64 `json:"detect_lag_ms"`
+	Attributed  bool    `json:"attributed"`
+	Healed      bool    `json:"healed"`
+}
+
+func hierarchySection(res *cres.E15Result) *benchHierarchy {
+	h := &benchHierarchy{
+		TotalSigChecks: res.TotalSigChecks,
+		MaxDetectLagMs: float64(res.MaxDetectLag.Microseconds()) / 1000,
+	}
+	for _, r := range res.Rows {
+		h.Rows = append(h.Rows, benchHierarchyRow{
+			Depth:       r.Depth,
+			Fanout:      r.Fanout,
+			Leaves:      r.Leaves,
+			Devices:     r.Devices,
+			SigChecks:   r.SigChecks,
+			MaxHeld:     r.MaxHeld,
+			DetectLagMs: float64(r.Detection.Lag.Microseconds()) / 1000,
+			Attributed:  r.Attributed,
+			Healed:      r.Healed,
+		})
+	}
+	return h
 }
 
 // campaignReport is the schema of the -campaign JSON artifact.
@@ -242,6 +289,9 @@ func runSuite(o options, pool *harness.Pool) error {
 		}
 		if e8, ok := out.Payload.(*cres.E8Result); ok {
 			rep.Fleet = fleetSection(e8)
+		}
+		if e15, ok := out.Payload.(*cres.E15Result); ok {
+			rep.Hierarchy = hierarchySection(e15)
 		}
 		if e9, ok := out.Payload.(*cres.E9Result); ok {
 			rep.E9.Txs = e9.Txs

@@ -180,6 +180,50 @@ func TestRunQuickRecordsFleetThroughput(t *testing.T) {
 	}
 }
 
+func TestRunQuickRecordsHierarchy(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(options{seed: 7, quick: true, only: "E15", parallel: 2, jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hierarchy == nil {
+		t.Fatal("suite run recorded no hierarchy section")
+	}
+	if len(rep.Hierarchy.Rows) != 3 {
+		t.Fatalf("hierarchy rows = %d, want the quick sweep's 3 shapes", len(rep.Hierarchy.Rows))
+	}
+	if rep.Hierarchy.TotalSigChecks <= 0 || rep.Hierarchy.MaxDetectLagMs <= 0 {
+		t.Fatalf("hierarchy section lacks costs: %+v", rep.Hierarchy)
+	}
+	for _, r := range rep.Hierarchy.Rows {
+		if !r.Attributed || !r.Healed {
+			t.Errorf("shape %dx%d: attributed=%v healed=%v, want both", r.Depth, r.Fanout, r.Attributed, r.Healed)
+		}
+	}
+	// A filtered run without E15 must leave the section nil, so old
+	// baselines and new partial runs look the same to benchdiff.
+	if err := run(options{seed: 7, quick: true, only: "E7", jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	rep = benchReport{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hierarchy != nil {
+		t.Fatalf("E15-less run still wrote a hierarchy section: %+v", rep.Hierarchy)
+	}
+}
+
 func TestRunRejectsFleetSizes(t *testing.T) {
 	for _, bad := range []string{"0", "-5", "abc", ",,", "4096,x"} {
 		if err := run(options{seed: 7, fleet: bad}); err == nil {

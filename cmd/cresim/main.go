@@ -12,6 +12,13 @@
 // fleet on the fleet engine and print the merged summary plus the
 // sampled anomalous devices.
 //
+// The -tree mode attests a fleet through the hierarchical verifier
+// tree: verifier shards are the leaves of a depth × fanout hierarchy,
+// every interior node batch-verifies and re-signs its children's
+// summaries, and the mode then re-runs the tree with one mid-tier
+// verifier forging its merged summary to show the detection and
+// attribution on the way up.
+//
 // The -topology mode runs a worm over a wired fleet — one E13 cell,
 // interactively: patient zero is compromised, the worm's payload
 // schedules itself on each neighbour after -dwell, and the fleet
@@ -29,6 +36,7 @@
 //	cresim -all
 //	cresim -campaign [-plan implant-persist] [-shards 3] [-parallel N] [-seed 7]
 //	cresim -fleet 4096 [-parallel N] [-seed 7]
+//	cresim -tree 2:4 [-parallel N] [-seed 7]
 //	cresim -topology ring:10 [-dwell 2ms] [-mode cres-coop] [-worm secure-probe]
 //	cresim -topology ring:10 -faults high
 //	cresim -topology star:10 -faults high -recover
@@ -69,6 +77,7 @@ type options struct {
 	seed     int64
 	campaign bool
 	fleet    int
+	tree     string
 	shards   int
 	parallel int
 	topology string
@@ -91,6 +100,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 7, "simulation seed (campaign: root seed)")
 	flag.BoolVar(&o.campaign, "campaign", false, "run the scenario campaign matrix")
 	flag.IntVar(&o.fleet, "fleet", 0, "attest an N-device fleet on the streaming engine (smoke mode)")
+	flag.StringVar(&o.tree, "tree", "", `attest through a verifier hierarchy: "depth:fanout" (e.g. 2:4)`)
 	flag.IntVar(&o.shards, "shards", 3, "campaign seed replicas per attack × architecture cell")
 	flag.IntVar(&o.parallel, "parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&o.topology, "topology", "", `worm-over-fleet mode: "kind[:size[:fanout]]" (ring, star, mesh, random)`)
@@ -121,6 +131,10 @@ func run(o options) error {
 
 	if o.fleet > 0 {
 		return runFleet(o)
+	}
+
+	if o.tree != "" {
+		return runTree(o)
 	}
 
 	if o.topology != "" {
@@ -327,6 +341,70 @@ func runRecovery(o options, spec scenario.TopologySpec, level cres.FaultLevel) e
 	fmt.Printf("=== closed-loop recovery: %q worm over %s fleet (%d devices, faults %s) ===\n\n",
 		o.worm, spec.Kind, spec.Size, level.Name)
 	fmt.Println(res.Table.Render())
+	return nil
+}
+
+// parseTree parses the -tree value: "depth:fanout".
+func parseTree(s string) (depth, fanout int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-tree %q: want depth:fanout (e.g. 2:4)", s)
+	}
+	if depth, err = strconv.Atoi(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("-tree depth %q: %v", parts[0], err)
+	}
+	if fanout, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("-tree fanout %q: %v", parts[1], err)
+	}
+	return depth, fanout, nil
+}
+
+// runTree is the hierarchical-verifier mode: attest the fleet through
+// a depth × fanout verifier tree, print the operator-verified summary
+// and the hierarchy's costs, then re-run with one mid-tier verifier
+// forging its merged summary and print the detection.
+func runTree(o options) error {
+	depth, fanout, err := parseTree(o.tree)
+	if err != nil {
+		return err
+	}
+	ct, err := cres.E15TreeSpec(cres.E15Shape{Depth: depth, Fanout: fanout}).Compile()
+	if err != nil {
+		return err
+	}
+	tr, err := ct.Tree(o.seed)
+	if err != nil {
+		return err
+	}
+	pool := harness.NewPool(o.parallel)
+	res, err := tr.Run(pool)
+	if err != nil {
+		return err
+	}
+	sum := res.Summary
+	fmt.Printf("=== hierarchical attestation: depth %d, fanout %d — %d verifier leaves over %d devices ===\n\n",
+		depth, fanout, tr.Leaves(), sum.Devices)
+	fmt.Printf("tiers (leaves first): %v\n", tr.Tiers())
+	fmt.Printf("devices: %d  tampered: %d  caught: %d  false alarms: %d\n",
+		sum.Devices, sum.Tampered, sum.Caught, sum.FalseAlarms)
+	fmt.Printf("completion: %v (virtual; flat shards finished at %v)\n", res.Completion, sum.Completion)
+	fmt.Printf("signature checks: %d  max records held by one checker: %d\n\n", res.SigChecks, res.MaxHeld)
+
+	// The demo forgery: the last tier-1 verifier signs a summary with
+	// every compromise scrubbed.
+	liar := fleet.NodeID{Tier: 1, Index: tr.Tiers()[1] - 1}
+	forged, err := tr.RunForged(pool, fleet.Forge{Node: liar, Mode: fleet.ForgeSummary})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forgery demo: %s re-signs its merged summary with all %d caught compromises hidden\n", liar, sum.Caught)
+	for _, det := range forged.Detections {
+		fmt.Printf("  detected: %s caught by %s (%s) at %v — %v after the lie was signed\n",
+			det.Liar, det.By, det.Kind, det.At, det.Lag)
+	}
+	if len(forged.Detections) == 0 {
+		fmt.Println("  NOT DETECTED — hierarchy invariant broken")
+	}
 	return nil
 }
 

@@ -14,6 +14,20 @@ func TestRunFleetSmoke(t *testing.T) {
 	}
 }
 
+func TestRunTreeMode(t *testing.T) {
+	if err := run(options{tree: "2:2", parallel: 2, seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTreeModeBadShape(t *testing.T) {
+	for _, bad := range []string{"2", "2:4:8", "x:2", "2:y", "0:2", "1:1"} {
+		if err := run(options{tree: bad, seed: 7}); err == nil {
+			t.Errorf("-tree %q accepted", bad)
+		}
+	}
+}
+
 func TestRunSingleScenarioCRES(t *testing.T) {
 	if err := run(options{scenario: "secure-probe", arch: "cres", seed: 7}); err != nil {
 		t.Fatal(err)

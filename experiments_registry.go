@@ -123,6 +123,11 @@ func init() {
 			return RunE14FaultRecovery(E14Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
 		},
 		func(_ *harness.Context, r *E14Result) []string { return []string{r.Table.Render()} }))
+	harness.Register("E15", timedRunner(
+		func(ctx *harness.Context) (*E15Result, error) {
+			return RunE15Hierarchy(E15Config{RootSeed: ctx.Seed, Quick: ctx.Quick}, WithRunPool(ctx.Pool))
+		},
+		func(_ *harness.Context, r *E15Result) []string { return []string{r.Table.Render()} }))
 	harness.Register("BV", timedRunner(
 		func(ctx *harness.Context) (*BVResult, error) { return RunBVBatchVerify(ctx.Seed) },
 		func(ctx *harness.Context, r *BVResult) []string {

@@ -1,0 +1,55 @@
+package attest
+
+import (
+	"bytes"
+	"testing"
+
+	"cres/internal/cryptoutil"
+)
+
+func TestChainDigestLeafIsZero(t *testing.T) {
+	if ChainDigest(nil) != (cryptoutil.Digest{}) {
+		t.Error("nil child set: digest not zero")
+	}
+	if ChainDigest([][]byte{}) != (cryptoutil.Digest{}) {
+		t.Error("empty child set: digest not zero")
+	}
+}
+
+func TestChainDigestOrderAndContent(t *testing.T) {
+	a, b := []byte("sig-a"), []byte("sig-b")
+	ab := ChainDigest([][]byte{a, b})
+	if ab == (cryptoutil.Digest{}) {
+		t.Fatal("non-empty child set digested to zero")
+	}
+	if ab != ChainDigest([][]byte{a, b}) {
+		t.Error("digest not deterministic")
+	}
+	// Re-ordering, dropping or swapping a child must change the digest —
+	// that is what stops a node quietly editing its input set.
+	if ab == ChainDigest([][]byte{b, a}) {
+		t.Error("digest insensitive to child order")
+	}
+	if ab == ChainDigest([][]byte{a}) {
+		t.Error("digest insensitive to dropped child")
+	}
+	if ab == ChainDigest([][]byte{a, []byte("sig-x")}) {
+		t.Error("digest insensitive to swapped child")
+	}
+}
+
+func TestAppendChainMessage(t *testing.T) {
+	body := []byte("canonical summary bytes")
+	children := ChainDigest([][]byte{[]byte("sig")})
+	msg := AppendChainMessage(nil, body, children)
+	want := append(append([]byte(chainLabel), body...), children[:]...)
+	if !bytes.Equal(msg, want) {
+		t.Errorf("message = %x, want label||body||digest", msg)
+	}
+	// Appending to an existing buffer must not disturb the prefix.
+	pre := []byte("prefix")
+	full := AppendChainMessage(append([]byte(nil), pre...), body, children)
+	if !bytes.Equal(full, append(pre, want...)) {
+		t.Error("append form disturbed the prefix or message")
+	}
+}

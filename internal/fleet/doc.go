@@ -23,4 +23,17 @@
 // is derived once per batch from the entropy root at the batch's first
 // global index — pooled state is restricted to quantities the Summary
 // cannot observe, so batching is invisible in every output.
+//
+// Tree (experiment E15) extends attestation to the verifiers
+// themselves: shards become the leaves of a depth × fan-out hierarchy
+// in which every node signs the canonical encoding of its merged
+// Summary chained to its children's signatures, and every parent
+// batch-verifies, re-merges and byte-compares its children's claims
+// before re-signing. A verifier that forges its merge, tampers a
+// record in transit, or misreports its evidence is detected and
+// attributed by its direct parent (or, for the root, by the
+// operator), excised, and healed around — the root summary equals the
+// honest flat-engine summary. Node keys derive from dedicated
+// per-purpose seed roots, so tree results are as deterministic as the
+// engine's.
 package fleet

@@ -55,6 +55,8 @@ const (
 	purposeEntropy                  // device TPM entropy (two draws per device)
 	purposeSample                   // anomaly-sample priority
 	purposeBatchCoeff               // batch-verify linear-combination coefficients (per epoch)
+	purposeNodeKey                  // hierarchy node signing keys (two draws per node)
+	purposeTreeCoeff                // hierarchy batch-verify coefficients (two draws per node)
 )
 
 // Share is one slice of the fleet's device mix.

@@ -223,15 +223,31 @@ func TestSampleKeepsBottomKByPriority(t *testing.T) {
 }
 
 func TestSampleIndicesRendering(t *testing.T) {
-	var s Summary
-	if got := s.SampleIndices(3); got != "-" {
-		t.Fatalf("empty sample rendered %q", got)
+	var empty Summary
+	for _, max := range []int{-1, 0, 1, 3} {
+		if got := empty.SampleIndices(max); got != "-" {
+			t.Errorf("empty sample, max %d: rendered %q, want -", max, got)
+		}
 	}
-	s.SampleK = 4
+	s := Summary{SampleK: 4}
 	for i := 0; i < 4; i++ {
 		s.observe(i*7, ReasonCaught, 0, uint64(i))
 	}
-	if got := s.SampleIndices(2); got != "0,7 (+2 more)" {
-		t.Fatalf("rendered %q", got)
+	// max <= 0 elides every index and renders the bare count; the old
+	// code emitted a malformed leading-space " (+4 more)" fragment.
+	for _, tc := range []struct {
+		max  int
+		want string
+	}{
+		{-1, "(+4)"},
+		{0, "(+4)"},
+		{1, "0 (+3 more)"},
+		{2, "0,7 (+2 more)"},
+		{4, "0,7,14,21"},
+		{5, "0,7,14,21"},
+	} {
+		if got := s.SampleIndices(tc.max); got != tc.want {
+			t.Errorf("max %d: rendered %q, want %q", tc.max, got, tc.want)
+		}
 	}
 }

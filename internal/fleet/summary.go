@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"strings"
@@ -91,8 +92,12 @@ type Summary struct {
 	// Hist counts appraisal latencies into LatencyBuckets; the last
 	// element is the overflow bucket.
 	Hist [NumBuckets]int
-	// SampleK is the sample capacity; Merge keeps the larger capacity of
-	// its operands.
+	// SampleK is the sample capacity; Merge keeps the smaller non-zero
+	// capacity of its operands (a zero capacity is the identity). The
+	// minimum — not the maximum — is what keeps the algebra associative:
+	// an operand with capacity k has already discarded anomalies beyond
+	// its own bottom-k, so any merged sample wider than k would depend on
+	// which grouping produced the operands.
 	SampleK int
 	// Sample is the bottom-SampleK anomalous devices by (Priority,
 	// Index), ascending — a deterministic reservoir over every anomaly
@@ -184,12 +189,19 @@ func (s Summary) Merge(o Summary) Summary {
 	for i := range out.Hist {
 		out.Hist[i] += o.Hist[i]
 	}
-	if o.SampleK > out.SampleK {
+	// The merged capacity is the smaller non-zero operand capacity. An
+	// operand with capacity k only retained its bottom-k anomalies, so k
+	// is the widest sample the union can still answer exactly; keeping a
+	// larger capacity (the old bug) produced a grouping-dependent,
+	// incomplete "bottom-K". A zero capacity carries no sample and
+	// imposes no bound — the zero Summary stays the identity.
+	if o.SampleK > 0 && (out.SampleK == 0 || o.SampleK < out.SampleK) {
 		out.SampleK = o.SampleK
 	}
 	// Bottom-K of a multiset union: merge the two sorted samples and
-	// keep the K smallest. Associative and commutative because bottom-K
-	// is, whatever grouping produced the operands.
+	// keep the K smallest. Associative and commutative because every
+	// intermediate capacity is >= the final minimum, so no grouping
+	// discards an anomaly the final truncation still needs.
 	if len(o.Sample) > 0 {
 		merged := make([]Anomaly, 0, len(s.Sample)+len(o.Sample))
 		i, j := 0, 0
@@ -204,12 +216,69 @@ func (s Summary) Merge(o Summary) Summary {
 		}
 		merged = append(merged, s.Sample[i:]...)
 		merged = append(merged, o.Sample[j:]...)
-		if len(merged) > out.SampleK {
+		if out.SampleK > 0 && len(merged) > out.SampleK {
 			merged = merged[:out.SampleK]
 		}
 		out.Sample = merged
+		return out
+	}
+	// o brought no sample: the result's sample is s's, truncated to the
+	// merged capacity and CLONED — returning s.Sample itself would share
+	// its backing array, so a later observe/admit on the merged summary
+	// would silently mutate the operand.
+	out.Sample = cloneSample(s.Sample)
+	if out.SampleK > 0 && len(out.Sample) > out.SampleK {
+		out.Sample = out.Sample[:out.SampleK]
 	}
 	return out
+}
+
+// cloneSample copies a sample slice so merged summaries never alias an
+// operand's backing array. nil stays nil (the zero Summary must merge
+// to a deep-equal copy of its operand).
+func cloneSample(s []Anomaly) []Anomaly {
+	if s == nil {
+		return nil
+	}
+	out := make([]Anomaly, len(s))
+	copy(out, s)
+	return out
+}
+
+// AppendCanonical appends the summary's canonical byte encoding to dst
+// and returns the extended slice. The encoding is a fixed-width
+// big-endian field walk (counts, times, histogram, capacity, then the
+// length-prefixed anomaly sample) with no maps and no host-dependent
+// types, so two summaries encode identically iff they are equal — the
+// property the verifier hierarchy's signing chain rests on: a node
+// signs exactly these bytes, and a parent detects a forged merge by
+// comparing encodings, never struct pointers.
+func (s Summary) AppendCanonical(dst []byte) []byte {
+	put := func(v int64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		dst = append(dst, b[:]...)
+	}
+	put(int64(s.Devices))
+	put(int64(s.Tampered))
+	put(int64(s.Caught))
+	put(int64(s.FalseAlarms))
+	put(int64(s.Batches))
+	put(int64(s.Completion))
+	put(int64(s.LatencySum))
+	put(int64(s.MaxLatency))
+	for _, n := range s.Hist {
+		put(int64(n))
+	}
+	put(int64(s.SampleK))
+	put(int64(len(s.Sample)))
+	for _, a := range s.Sample {
+		put(int64(a.Index))
+		dst = append(dst, a.Reason)
+		put(int64(a.Latency))
+		put(int64(a.Priority))
+	}
+	return dst
 }
 
 // MeanLatency is the mean per-device appraisal latency.
@@ -250,10 +319,16 @@ func (s Summary) Quantile(q float64) time.Duration {
 }
 
 // SampleIndices renders the sampled anomaly indices, at most max of
-// them, as "3,11,19 (+5 more)" — the compact table-cell form.
+// them, as "3,11,19 (+5 more)" — the compact table-cell form. An empty
+// sample renders as "-"; max <= 0 elides every index and renders the
+// bare count as "(+N)" (the old code emitted a malformed leading-space
+// " (+N more)" fragment with no indices).
 func (s Summary) SampleIndices(max int) string {
 	if len(s.Sample) == 0 {
 		return "-"
+	}
+	if max <= 0 {
+		return fmt.Sprintf("(+%d)", len(s.Sample))
 	}
 	var b strings.Builder
 	n := len(s.Sample)

@@ -3,6 +3,7 @@ package fleet
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 )
@@ -136,5 +137,171 @@ func TestMergeOrderIndependentOnRealShards(t *testing.T) {
 	}
 	if !reflect.DeepEqual(level[0], want) {
 		t.Fatalf("tree fold differs:\n%+v\nvs\n%+v", level[0], want)
+	}
+}
+
+// randomSummaryK is randomSummary with an explicit sample capacity; it
+// returns the summary plus the full (untruncated) anomaly list it
+// observed, so a test can brute-force the true bottom-K of a union.
+func randomSummaryK(rng *rand.Rand, k int, nextIndex *int) (Summary, []Anomaly) {
+	s := Summary{
+		Devices:    1 + rng.Intn(10_000),
+		Batches:    1 + rng.Intn(64),
+		Completion: time.Duration(rng.Intn(1_000_000)),
+		LatencySum: time.Duration(rng.Intn(1_000_000_000)),
+		MaxLatency: time.Duration(rng.Intn(10_000_000)),
+		SampleK:    k,
+	}
+	s.Tampered = rng.Intn(s.Devices + 1)
+	s.Caught = rng.Intn(s.Tampered + 1)
+	s.FalseAlarms = rng.Intn(s.Devices - s.Tampered + 1)
+	for i := range s.Hist {
+		s.Hist[i] = rng.Intn(1000)
+	}
+	var all []Anomaly
+	for i, n := 0, rng.Intn(3*DefaultSampleK); i < n; i++ {
+		a := Anomaly{
+			Index:    *nextIndex, // distinct across every shard in the test
+			Reason:   uint8(1 + rng.Intn(3)),
+			Latency:  time.Duration(rng.Intn(5_000_000)),
+			Priority: rng.Uint64(),
+		}
+		*nextIndex++
+		all = append(all, a)
+		s.admit(a)
+	}
+	return s, all
+}
+
+// bottomK brute-forces the true bottom-k of an anomaly multiset.
+func bottomK(all []Anomaly, k int) []Anomaly {
+	sorted := append([]Anomaly(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	if k >= 0 && len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// TestMergeMixedKMatchesBruteForce is the repaired algebra's headline
+// property: merging shard summaries with heterogeneous sample
+// capacities yields exactly the bottom-min(K) of the brute-forced
+// anomaly union, under shuffled folds and under the hierarchy's
+// tree-shaped fold alike. The pre-fix Merge kept the larger capacity
+// and failed this for any fold that met a small-K operand early.
+func TestMergeMixedKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(8)
+		shards := make([]Summary, n)
+		minK := 0
+		var union []Anomaly
+		nextIndex := 0
+		for i := range shards {
+			k := 2 + rng.Intn(2*DefaultSampleK)
+			var all []Anomaly
+			shards[i], all = randomSummaryK(rng, k, &nextIndex)
+			union = append(union, all...)
+			if minK == 0 || k < minK {
+				minK = k
+			}
+		}
+		want := bottomK(union, minK)
+
+		check := func(got Summary, how string) {
+			t.Helper()
+			if got.SampleK != minK {
+				t.Fatalf("trial %d %s: merged SampleK %d, want min %d", trial, how, got.SampleK, minK)
+			}
+			gotSample := got.Sample
+			if len(gotSample) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(gotSample, want) {
+				t.Fatalf("trial %d %s: merged sample %v\nwant brute-forced bottom-%d %v", trial, how, gotSample, minK, want)
+			}
+		}
+
+		order := rng.Perm(n)
+		var flat Summary
+		for _, i := range order {
+			flat = flat.Merge(shards[i])
+		}
+		check(flat, "shuffled fold")
+
+		// The verifier hierarchy's merge order: pairwise tiers, bottom-up.
+		level := append([]Summary(nil), shards...)
+		for len(level) > 1 {
+			var next []Summary
+			for i := 0; i < len(level); i += 2 {
+				if i+1 < len(level) {
+					next = append(next, level[i].Merge(level[i+1]))
+				} else {
+					next = append(next, level[i])
+				}
+			}
+			level = next
+		}
+		check(level[0], "tree fold")
+
+		// And the two groupings agree on the whole summary, not just the
+		// sample — full associativity of the repaired algebra.
+		if !reflect.DeepEqual(flat, level[0]) {
+			t.Fatalf("trial %d: shuffled and tree folds disagree:\n%+v\nvs\n%+v", trial, flat, level[0])
+		}
+	}
+}
+
+// TestMergeMixedKCommutativeAssociative re-runs the algebraic laws with
+// heterogeneous capacities, which the fixed-K property tests above
+// never exercised.
+func TestMergeMixedKCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nextIndex := 0
+	draw := func() Summary {
+		s, _ := randomSummaryK(rng, 1+rng.Intn(2*DefaultSampleK), &nextIndex)
+		return s
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := draw(), draw(), draw()
+		if ab, ba := a.Merge(b), b.Merge(a); !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("mixed-K commutativity: a.Merge(b) != b.Merge(a):\n%+v\nvs\n%+v", ab, ba)
+		}
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("mixed-K associativity: (a·b)·c != a·(b·c):\n%+v\nvs\n%+v", left, right)
+		}
+	}
+}
+
+// TestMergeDoesNotAliasOperandSample is the aliasing regression: before
+// the fix, merging with an empty-sample operand returned a summary
+// whose Sample shared the receiver's backing array, so admitting into
+// the merged summary silently rewrote the operand's sample.
+func TestMergeDoesNotAliasOperandSample(t *testing.T) {
+	s := Summary{SampleK: 8}
+	for i := 0; i < 3; i++ {
+		s.admit(Anomaly{Index: i, Reason: ReasonCaught, Priority: uint64(10 + i)})
+	}
+	snapshot := append([]Anomaly(nil), s.Sample...)
+
+	merged := s.Merge(Summary{})
+	// A front insertion shifts every element right — if merged.Sample
+	// aliases s.Sample's array, the shift tramples the operand.
+	merged.admit(Anomaly{Index: 99, Reason: ReasonFalseAlarm, Priority: 1})
+	if !reflect.DeepEqual(s.Sample, snapshot) {
+		t.Fatalf("operand mutated through merged summary:\n%+v\nwant %+v", s.Sample, snapshot)
+	}
+	if merged.Sample[0].Index != 99 {
+		t.Fatalf("admit into merged summary lost the new anomaly: %+v", merged.Sample)
+	}
+
+	// Same check with the operands swapped (zero receiver adopts o's
+	// sample) — the clone must happen on that path too.
+	merged = (Summary{}).Merge(s)
+	merged.admit(Anomaly{Index: 99, Reason: ReasonFalseAlarm, Priority: 1})
+	if !reflect.DeepEqual(s.Sample, snapshot) {
+		t.Fatalf("operand mutated through zero.Merge(s):\n%+v\nwant %+v", s.Sample, snapshot)
 	}
 }

@@ -15,7 +15,11 @@
 //     fractions plus a tamper distribution;
 //   - TopologySpec describes how a fleet is wired over the M2M fabric
 //     (ring/star/mesh/random), the graph the E13 worm campaign and the
-//     cooperative response fight over.
+//     cooperative response fight over;
+//   - TreeSpec describes a verifier hierarchy over a streaming fleet
+//     (depth × fan-out over an embedded FleetSpec, with per-link
+//     latency and per-check verify cost), the shape the E15
+//     hierarchical re-attestation sweep runs.
 //
 // Each has a Compile step that validates the spec, fills defaults and
 // returns a Compiled* value the layers above execute. Compilation never
