@@ -45,9 +45,23 @@
 // Reports without the section (baselines predating the hierarchy, or
 // runs without E15) skip the comparison with a note.
 //
+// A sixth check gates the resident service (the service section the
+// SVC experiment writes): aggregate requests/sec through a loopback
+// cresd must not fall more than -max-service-regress below the
+// baseline. Like the fleet gate it is a host-clock quantity, so the
+// tolerance is loose; reports without the section skip with a note.
+//
+// The -store mode gates a cresd result store against its own
+// trajectory instead of comparing two reports: within every stored
+// key's history the bodies must be byte-identical (the determinism
+// invariant — a drift is a correctness failure, whatever the host),
+// and the latest compute cost must not exceed the best prior run by
+// more than -max-store-regress.
+//
 // Usage:
 //
-//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-max-fleet-allocs 4] [-normalize]
+//	benchdiff -base BENCH_perf.json -new fresh.json [-max-regress 0.25] [-max-fleet-regress 0.35] [-max-fleet-allocs 4] [-max-service-regress 0.5] [-normalize]
+//	benchdiff -store results [-max-store-regress 0.5]
 package main
 
 import (
@@ -55,6 +69,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+
+	"cres/internal/store"
 )
 
 // benchFile mirrors the cresbench BENCH_perf.json schema (the fields
@@ -64,6 +81,21 @@ type benchFile struct {
 	E9        benchE9         `json:"e9"`
 	Fleet     benchFleet      `json:"fleet"`
 	Hierarchy *benchHierarchy `json:"hierarchy"`
+	Service   *benchService   `json:"service"`
+}
+
+type benchService struct {
+	Requests       int                    `json:"requests"`
+	RequestsPerSec float64                `json:"requests_per_sec"`
+	Endpoints      []benchServiceEndpoint `json:"endpoints"`
+}
+
+type benchServiceEndpoint struct {
+	Path     string  `json:"path"`
+	Requests int     `json:"requests"`
+	Bytes    int     `json:"bytes"`
+	BodySHA  string  `json:"body_sha"`
+	NsPerReq float64 `json:"ns_per_req"`
 }
 
 type benchHierarchy struct {
@@ -111,16 +143,25 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/tx regression")
 	maxFleetRegress := flag.Float64("max-fleet-regress", 0.35, "maximum tolerated fractional fleet devices/sec drop")
 	maxFleetAllocs := flag.Float64("max-fleet-allocs", 4, "maximum tolerated fleet heap allocations per device")
+	maxServiceRegress := flag.Float64("max-service-regress", 0.5, "maximum tolerated fractional service requests/sec drop")
 	normalize := flag.Bool("normalize", false, "compare overhead ratios vs the no-monitoring row instead of raw ns/tx")
+	storeDir := flag.String("store", "", "gate this cresd result store against its own trajectory instead of comparing reports")
+	maxStoreRegress := flag.Float64("max-store-regress", 0.5, "maximum tolerated fractional ns/op growth over a stored key's best prior run (-store mode)")
 	flag.Parse()
 
-	if err := run(*basePath, *newPath, *maxRegress, *maxFleetRegress, *maxFleetAllocs, *normalize, os.Stdout); err != nil {
+	var err error
+	if *storeDir != "" {
+		err = runStore(*storeDir, *maxStoreRegress, os.Stdout)
+	} else {
+		err = run(*basePath, *newPath, *maxRegress, *maxFleetRegress, *maxFleetAllocs, *maxServiceRegress, *normalize, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, newPath string, maxRegress, maxFleetRegress, maxFleetAllocs float64, normalize bool, out *os.File) error {
+func run(basePath, newPath string, maxRegress, maxFleetRegress, maxFleetAllocs, maxServiceRegress float64, normalize bool, out *os.File) error {
 	if newPath == "" {
 		return fmt.Errorf("-new is required")
 	}
@@ -142,6 +183,9 @@ func run(basePath, newPath string, maxRegress, maxFleetRegress, maxFleetAllocs f
 	hierProblems, hierLines := compareHierarchy(base, fresh, maxRegress)
 	problems = append(problems, hierProblems...)
 	lines = append(lines, hierLines...)
+	svcProblems, svcLines := compareService(base, fresh, maxServiceRegress)
+	problems = append(problems, svcProblems...)
+	lines = append(lines, svcLines...)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
@@ -357,6 +401,115 @@ func compareHierarchy(base, fresh *benchFile, maxRegress float64) (problems, lin
 		}
 		lines = append(lines, fmt.Sprintf("  %dx%-30d %6d -> %6d checks, %8.3f -> %8.3f ms lag  %s",
 			fr.Depth, fr.Fanout, br.SigChecks, fr.SigChecks, br.DetectLagMs, fr.DetectLagMs, status))
+	}
+	return problems, lines
+}
+
+// compareService gates the resident service's scripted throughput
+// (the section the SVC experiment writes): fresh requests/sec must
+// not fall more than maxRegress below the baseline. Per-endpoint
+// ns/req is printed for context but not gated — a single aggregate
+// threshold keeps a loopback host-clock quantity from flaking CI.
+// Reports without the section skip with a note, same rule as the
+// fleet and hierarchy gates.
+func compareService(base, fresh *benchFile, maxRegress float64) (problems, lines []string) {
+	if fresh.Service == nil {
+		return nil, []string{"service gate skipped: fresh report has no service section (select SVC when generating it)"}
+	}
+	if base.Service == nil {
+		return nil, []string{"service gate skipped: baseline predates the service section"}
+	}
+	baseV, freshV := base.Service.RequestsPerSec, fresh.Service.RequestsPerSec
+	if baseV <= 0 || freshV <= 0 {
+		return []string{"service gate: requests/sec must be positive in both reports"}, nil
+	}
+	delta := freshV/baseV - 1
+	status := "ok"
+	if delta < -maxRegress {
+		status = "REGRESSION"
+		problems = append(problems, fmt.Sprintf("service: requests/sec %.3f -> %.3f (%+.1f%%, limit -%.0f%%)",
+			baseV, freshV, delta*100, maxRegress*100))
+	}
+	lines = append(lines,
+		fmt.Sprintf("Service comparison (requests/sec, limit -%.0f%%):", maxRegress*100),
+		fmt.Sprintf("  %-32s %10.3f -> %10.3f  (%+6.1f%%)  %s", "resident-service", baseV, freshV, delta*100, status))
+	baseEp := make(map[string]benchServiceEndpoint, len(base.Service.Endpoints))
+	for _, ep := range base.Service.Endpoints {
+		baseEp[ep.Path] = ep
+	}
+	for _, ep := range fresh.Service.Endpoints {
+		if bp, ok := baseEp[ep.Path]; ok {
+			lines = append(lines, fmt.Sprintf("  %-32s %10.0f -> %10.0f  ns/req", ep.Path, bp.NsPerReq, ep.NsPerReq))
+		}
+	}
+	return problems, lines
+}
+
+// runStore gates a cresd result store against its own trajectory. Two
+// checks per stored key: every record in the key's history must carry
+// byte-identical bodies — identical (experiment, seed, config digest)
+// must mean identical results, on any host, or the simulator's
+// determinism contract is broken — and the latest recorded compute
+// cost must not exceed the best prior run's by more than maxRegress.
+// Keys with a single record have no trajectory yet and are noted, not
+// failed.
+func runStore(dir string, maxRegress float64, out *os.File) error {
+	path := filepath.Join(dir, store.FileName)
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("-store: no result store at %s", path)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	problems, lines := compareStore(st, maxRegress)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d store regression(s):\n  %s", len(problems), joinLines(problems))
+	}
+	fmt.Fprintln(out, "benchdiff: store trajectory clean")
+	return nil
+}
+
+// compareStore runs the -store mode's checks over an open store.
+func compareStore(st *store.Store, maxRegress float64) (problems, lines []string) {
+	keys := st.Keys()
+	lines = append(lines, fmt.Sprintf("Store trajectory (%d records, %d keys; ns/op limit +%.0f%% over best prior run):",
+		st.Len(), len(keys), maxRegress*100))
+	for _, k := range keys {
+		hist := st.History(k)
+		for i := 1; i < len(hist); i++ {
+			if hist[i].Body != hist[0].Body {
+				problems = append(problems, fmt.Sprintf("%s: run %d body differs from run 0 — determinism broken", k, i))
+			}
+		}
+		if len(hist) < 2 {
+			lines = append(lines, fmt.Sprintf("  %-48s %27s", k, "single run, no trajectory"))
+			continue
+		}
+		best := 0.0
+		for _, r := range hist[:len(hist)-1] {
+			if r.NsPerOp > 0 && (best == 0 || r.NsPerOp < best) {
+				best = r.NsPerOp
+			}
+		}
+		last := hist[len(hist)-1].NsPerOp
+		if best <= 0 || last <= 0 {
+			lines = append(lines, fmt.Sprintf("  %-48s %27s", k, "no ns/op recorded, skipped"))
+			continue
+		}
+		delta := last/best - 1
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSION"
+			problems = append(problems, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, limit +%.0f%%)",
+				k, best, last, delta*100, maxRegress*100))
+		}
+		lines = append(lines, fmt.Sprintf("  %-48s %10.0f -> %10.0f  (%+6.1f%%)  %s", k, best, last, delta*100, status))
 	}
 	return problems, lines
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cres/internal/store"
 )
 
 func report(rows ...benchE9Row) *benchFile {
@@ -100,16 +102,16 @@ func TestRunEndToEnd(t *testing.T) {
 	goodPath := write("good.json", report(row("no-monitoring", 16.5, 0)))
 	badPath := write("bad.json", report(row("no-monitoring", 30, 0)))
 
-	if err := run(basePath, goodPath, 0.25, 0.35, 4, false, os.Stdout); err != nil {
+	if err := run(basePath, goodPath, 0.25, 0.35, 4, 0.5, false, os.Stdout); err != nil {
 		t.Fatalf("clean comparison failed: %v", err)
 	}
-	if err := run(basePath, badPath, 0.25, 0.35, 4, false, os.Stdout); err == nil {
+	if err := run(basePath, badPath, 0.25, 0.35, 4, 0.5, false, os.Stdout); err == nil {
 		t.Fatal("regression passed the gate")
 	}
-	if err := run(basePath, "", 0.25, 0.35, 4, false, os.Stdout); err == nil {
+	if err := run(basePath, "", 0.25, 0.35, 4, 0.5, false, os.Stdout); err == nil {
 		t.Fatal("missing -new accepted")
 	}
-	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, 0.35, 4, false, os.Stdout); err == nil {
+	if err := run(basePath, filepath.Join(dir, "absent.json"), 0.25, 0.35, 4, 0.5, false, os.Stdout); err == nil {
 		t.Fatal("unreadable fresh report accepted")
 	}
 }
@@ -282,6 +284,114 @@ func TestCompareHierarchySkipsWithoutSection(t *testing.T) {
 	}
 	if len(lines) != 1 || !strings.Contains(lines[0], "skipped") {
 		t.Fatalf("lines = %v, want a single skip note", lines)
+	}
+}
+
+// withService attaches a service section to a report.
+func withService(f *benchFile, reqPerSec float64) *benchFile {
+	f.Service = &benchService{
+		Requests:       192,
+		RequestsPerSec: reqPerSec,
+		Endpoints: []benchServiceEndpoint{
+			{Path: "/healthz", Requests: 32, Bytes: 40, BodySHA: "aaaaaaaaaaaa", NsPerReq: 50_000},
+			{Path: "/appraise?size=256&seed=7", Requests: 32, Bytes: 900, BodySHA: "bbbbbbbbbbbb", NsPerReq: 120_000},
+		},
+	}
+	return f
+}
+
+// TestCompareServiceGate pins the resident-service gate: throughput
+// within the limit passes, a collapse fails, and a report without the
+// section skips with a note in either direction.
+func TestCompareServiceGate(t *testing.T) {
+	base := withService(report(row("no-monitoring", 16, 0)), 10_000)
+
+	if problems, _ := compareService(base, withService(report(row("no-monitoring", 16, 0)), 7_000), 0.5); len(problems) != 0 {
+		t.Fatalf("-30%% throughput flagged: %v", problems)
+	}
+	problems, _ := compareService(base, withService(report(row("no-monitoring", 16, 0)), 2_000), 0.5)
+	if len(problems) != 1 || !strings.Contains(problems[0], "requests/sec") {
+		t.Fatalf("problems = %v, want one service regression for -80%% throughput", problems)
+	}
+
+	plain := report(row("no-monitoring", 16, 0))
+	for _, tc := range []struct{ base, fresh *benchFile }{{plain, base}, {base, plain}} {
+		problems, lines := compareService(tc.base, tc.fresh, 0.5)
+		if len(problems) != 0 {
+			t.Fatalf("missing service section treated as regression: %v", problems)
+		}
+		if len(lines) != 1 || !strings.Contains(lines[0], "skipped") {
+			t.Fatalf("lines = %v, want a single skip note", lines)
+		}
+	}
+}
+
+// TestCompareStoreTrajectory pins the -store mode: identical bodies
+// with stable cost pass, a cost blow-up past the limit fails, and a
+// body drift within one key's history is a determinism failure even
+// when timings are fine.
+func TestCompareStoreTrajectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []store.Record{
+		// steady: two runs, same body, mild cost drift — clean.
+		{Experiment: "appraise", Seed: 7, Digest: "steady", Body: "{}", NsPerOp: 100},
+		{Experiment: "appraise", Seed: 7, Digest: "steady", Body: "{}", NsPerOp: 110},
+		// slow: latest run costs 3x the best prior — trajectory regression.
+		{Experiment: "appraise", Seed: 7, Digest: "slow", Body: "[]", NsPerOp: 100},
+		{Experiment: "appraise", Seed: 7, Digest: "slow", Body: "[]", NsPerOp: 300},
+		// drift: body changed between runs of one key — determinism broken.
+		{Experiment: "E2", Seed: 7, Digest: "drift", Body: "a", NsPerOp: 10},
+		{Experiment: "E2", Seed: 7, Digest: "drift", Body: "b", NsPerOp: 10},
+		// lone: single run, nothing to compare.
+		{Experiment: "E8", Seed: 7, Digest: "lone", Body: "x", NsPerOp: 10},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	problems, lines := compareStore(st, 0.5)
+	joined := strings.Join(problems, "; ")
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want the slow trajectory and the body drift", problems)
+	}
+	if !strings.Contains(joined, "slow") || !strings.Contains(joined, "determinism broken") {
+		t.Fatalf("problems = %v, want slow + determinism failures", problems)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "single run") {
+		t.Fatalf("lines = %v, want a single-run note for the lone key", lines)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runStore(dir, 0.5, os.Stdout); err == nil {
+		t.Fatal("store with regressions passed the gate")
+	}
+	if err := runStore(filepath.Join(t.TempDir(), "absent"), 0.5, os.Stdout); err == nil {
+		t.Fatal("missing store accepted")
+	}
+
+	// A clean store passes end to end.
+	cleanDir := filepath.Join(t.TempDir(), "clean")
+	cst, err := store.Open(cleanDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ns := range []float64{100, 110} {
+		if err := cst.Append(store.Record{Experiment: "appraise", Seed: 7, Digest: "steady", Body: "{}", NsPerOp: ns}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStore(cleanDir, 0.5, os.Stdout); err != nil {
+		t.Fatalf("clean store failed the gate: %v", err)
 	}
 }
 

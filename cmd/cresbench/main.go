@@ -1,6 +1,6 @@
-// Command cresbench runs the complete experiment suite (E1–E11) from
-// the harness registry and prints every table and series — the data
-// behind EXPERIMENTS.md.
+// Command cresbench runs the complete experiment suite from the
+// harness registry (E1 through E15 plus BV and SVC) and prints every
+// table and series — the data behind EXPERIMENTS.md.
 //
 // Independent simulation runs inside each experiment fan out across a
 // worker pool (-parallel); shard seeds derive deterministically from
@@ -45,6 +45,7 @@ import (
 	"cres"
 	"cres/internal/harness"
 	"cres/internal/scenario"
+	"cres/internal/service"
 )
 
 // options collects the CLI flags.
@@ -92,7 +93,10 @@ type benchReport struct {
 	// Hierarchy records the E15 verifier-tree sweep; nil in artifacts
 	// from before the hierarchy existed, which benchdiff treats as
 	// "skip", not "fail".
-	Hierarchy   *benchHierarchy   `json:"hierarchy,omitempty"`
+	Hierarchy *benchHierarchy `json:"hierarchy,omitempty"`
+	// Service records the SVC resident-service bench; nil in artifacts
+	// from before the service existed — the same skip-not-fail rule.
+	Service     *benchService     `json:"service,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 }
 
@@ -211,6 +215,41 @@ func hierarchySection(res *cres.E15Result) *benchHierarchy {
 	return h
 }
 
+// benchService records the SVC resident-service bench: aggregate
+// requests/sec through a loopback cresd plus per-endpoint body
+// fingerprints and costs. The SHAs are deterministic per (seed,
+// quick); the timings are host-clock, gated loosely by benchdiff.
+type benchService struct {
+	Requests       int                    `json:"requests"`
+	RequestsPerSec float64                `json:"requests_per_sec"`
+	Endpoints      []benchServiceEndpoint `json:"endpoints"`
+}
+
+type benchServiceEndpoint struct {
+	Path     string  `json:"path"`
+	Requests int     `json:"requests"`
+	Bytes    int     `json:"bytes"`
+	BodySHA  string  `json:"body_sha"`
+	NsPerReq float64 `json:"ns_per_req"`
+}
+
+func serviceSection(res *service.SVCResult) *benchService {
+	s := &benchService{
+		Requests:       res.Requests,
+		RequestsPerSec: res.RequestsPerSec(),
+	}
+	for _, ep := range res.Endpoints {
+		s.Endpoints = append(s.Endpoints, benchServiceEndpoint{
+			Path:     ep.Path,
+			Requests: ep.Requests,
+			Bytes:    ep.Bytes,
+			BodySHA:  ep.BodySHA,
+			NsPerReq: ep.NsPerReq,
+		})
+	}
+	return s
+}
+
 // campaignReport is the schema of the -campaign JSON artifact.
 type campaignReport struct {
 	Schema             string  `json:"schema"`
@@ -292,6 +331,9 @@ func runSuite(o options, pool *harness.Pool) error {
 		}
 		if e15, ok := out.Payload.(*cres.E15Result); ok {
 			rep.Hierarchy = hierarchySection(e15)
+		}
+		if svc, ok := out.Payload.(*service.SVCResult); ok {
+			rep.Service = serviceSection(svc)
 		}
 		if e9, ok := out.Payload.(*cres.E9Result); ok {
 			rep.E9.Txs = e9.Txs

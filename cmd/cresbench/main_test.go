@@ -224,6 +224,53 @@ func TestRunQuickRecordsHierarchy(t *testing.T) {
 	}
 }
 
+// TestRunQuickRecordsService pins the SVC section: an SVC-only run
+// writes the resident-service bench into the report — per-endpoint
+// body fingerprints plus throughput — and a run without SVC leaves
+// the section nil so benchdiff's skip rule applies.
+func TestRunQuickRecordsService(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(options{seed: 7, quick: true, only: "SVC", parallel: 2, jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Service == nil {
+		t.Fatal("SVC run recorded no service section")
+	}
+	if rep.Service.Requests <= 0 || rep.Service.RequestsPerSec <= 0 {
+		t.Fatalf("service section lacks throughput: %+v", rep.Service)
+	}
+	if len(rep.Service.Endpoints) != 6 {
+		t.Fatalf("service endpoints = %d, want the script's 6", len(rep.Service.Endpoints))
+	}
+	for _, ep := range rep.Service.Endpoints {
+		if len(ep.BodySHA) != 12 || ep.Bytes <= 0 || ep.Requests <= 0 {
+			t.Errorf("endpoint %s: incomplete record %+v", ep.Path, ep)
+		}
+	}
+
+	if err := run(options{seed: 7, quick: true, only: "E7", jsonPath: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	rep = benchReport{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Service != nil {
+		t.Fatalf("SVC-less run still wrote a service section: %+v", rep.Service)
+	}
+}
+
 func TestRunRejectsFleetSizes(t *testing.T) {
 	for _, bad := range []string{"0", "-5", "abc", ",,", "4096,x"} {
 		if err := run(options{seed: 7, fleet: bad}); err == nil {

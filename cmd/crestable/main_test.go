@@ -1,15 +1,65 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cres/internal/store"
+)
 
 func TestRunText(t *testing.T) {
-	if err := run(false); err != nil {
+	if err := run(false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	if err := run(true); err != nil {
+	if err := run(true, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunStoreMode pins the -store view: a populated store renders
+// one row per key with its history count, and a missing store is a
+// usage error, not a freshly created empty directory.
+func TestRunStoreMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []store.Record{
+		{Experiment: "appraise", Seed: 7, Digest: "aaa", Body: "{}", NsPerOp: 100},
+		{Experiment: "appraise", Seed: 7, Digest: "aaa", Body: "{}", NsPerOp: 90},
+		{Experiment: "E2", Seed: 7, Digest: "bbb", Body: "{...}"},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab := storeTable(st)
+	if tab.Len() != 2 {
+		t.Fatalf("store table has %d rows, want one per key (2)", tab.Len())
+	}
+	rendered := tab.Render()
+	for _, want := range []string{"appraise", "E2", "3 records, 2 keys", "90.00"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("store table missing %q:\n%s", want, rendered)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(false, dir); err != nil {
+		t.Fatalf("-store render failed: %v", err)
+	}
+	if err := run(true, dir); err != nil {
+		t.Fatalf("-store -csv render failed: %v", err)
+	}
+	if err := run(false, filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing store accepted")
 	}
 }

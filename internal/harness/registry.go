@@ -77,6 +77,19 @@ func Experiments() []Experiment {
 	return out
 }
 
+// Names returns the registered experiment names in registration
+// order — the valid-value list CLI flag validation and the resident
+// service's /experiments endpoint render.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
 // Lookup finds a registered experiment by name.
 func Lookup(name string) (Experiment, bool) {
 	regMu.Lock()

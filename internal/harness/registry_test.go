@@ -36,6 +36,20 @@ func TestRegisterAndLookupPreservesOrder(t *testing.T) {
 	}
 }
 
+func TestNamesMatchesExperimentsOrder(t *testing.T) {
+	Register("test-reg-names", testRunner)
+	exps := Experiments()
+	names := Names()
+	if len(names) != len(exps) {
+		t.Fatalf("Names has %d entries, Experiments %d", len(names), len(exps))
+	}
+	for i, e := range exps {
+		if names[i] != e.Name {
+			t.Fatalf("Names[%d] = %q, want %q", i, names[i], e.Name)
+		}
+	}
+}
+
 func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
 	mustPanic := func(name string, fn func()) {
 		t.Helper()

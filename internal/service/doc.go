@@ -1,0 +1,37 @@
+// Package service is the resident attestation service: the concurrent
+// HTTP+JSON shell that keeps compiled fleets, campaign matrices and
+// the experiment registry warm in memory and answers appraisal,
+// fleet-sweep, campaign and topology requests without rebuilding the
+// world per invocation — the long-lived fleet-verifier face of the
+// paper's architecture, served by cmd/cresd and cresim -serve.
+//
+// # Model
+//
+// The engines stay single-threaded-deterministic; the service is a
+// shell around them. Every request runs with a request-scoped
+// harness.Pool and a request-supplied root seed, and every per-device
+// or per-cell quantity derives from (seed, index) exactly as in batch
+// mode, so identical requests produce byte-identical response bodies
+// — across repeats, across concurrent clients, and across process
+// restarts. Host-clock readings never enter a response body (suite
+// experiments run with Context.Stable set); cache and digest
+// provenance travel in X-Cres-* headers so they cannot perturb the
+// byte-identity contract.
+//
+// # Persistence and resume
+//
+// When a result store (internal/store) is configured, each
+// deterministic response body is recorded under its (experiment,
+// seed, config digest) key before it is first served, and later
+// identical requests — including requests to a restarted process —
+// are answered from the store without recomputing. A fleet sweep is
+// stored cell-by-cell, so an interrupted sweep resumes by computing
+// only the missing sizes. The /results endpoint exposes the stored
+// history for querying; cmd/benchdiff -store gates it.
+//
+// # Shutdown
+//
+// POST /quit (or SIGTERM in cmd/cresd) begins a graceful drain:
+// in-flight requests complete, new requests are refused with 503, the
+// store is flushed, and Serve returns.
+package service

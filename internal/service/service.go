@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cres/internal/fleet"
+	"cres/internal/harness"
+	"cres/internal/store"
+)
+
+// BodySchema is the schema tag every deterministic response body
+// carries.
+const BodySchema = "cresd/v1"
+
+// Default request caps. They bound what one HTTP request may ask the
+// engines to compute; a request beyond a cap is a 400, never a
+// silently clamped workload.
+const (
+	DefaultMaxFleetSize     = 1 << 20
+	DefaultMaxSweepSizes    = 16
+	DefaultMaxCampaignSeeds = 8
+	DefaultMaxTopologySize  = 64
+	DefaultSeed             = 7
+	// engineCacheCap bounds the warm compiled-engine cache.
+	engineCacheCap = 64
+	// drainTimeout bounds how long a graceful shutdown waits for
+	// in-flight requests.
+	drainTimeout = 30 * time.Second
+	// maxDwell bounds /topology's worm dwell: the cell simulates the
+	// dwell in virtual time, so an unbounded dwell is unbounded CPU.
+	maxDwell = time.Second
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a default.
+type Config struct {
+	// Store persists deterministic response bodies and answers repeat
+	// requests without recomputation. Nil disables persistence (every
+	// request recomputes).
+	Store *store.Store
+	// Parallel bounds each request-scoped harness.Pool (0 =
+	// GOMAXPROCS). Parallelism never changes response bytes.
+	Parallel int
+	// Quick selects the reduced sweeps for /run when the request does
+	// not say; requests may override per call.
+	Quick bool
+	// Experiments restricts /run to the named registry experiments.
+	// Nil allows every registered experiment.
+	Experiments []string
+	// MaxFleetSize caps /appraise and /fleet device counts.
+	MaxFleetSize int
+	// MaxSweepSizes caps how many sizes one /fleet request may sweep.
+	MaxSweepSizes int
+	// MaxCampaignSeeds caps /campaign seed replicas per cell.
+	MaxCampaignSeeds int
+	// MaxTopologySize caps /topology fleet sizes.
+	MaxTopologySize int
+	// DefaultSeed is the root seed used when a request omits seed.
+	DefaultSeed int64
+}
+
+// Stats are the server's monotonic request counters. They are
+// operational telemetry (served by /statz), not part of any
+// deterministic body.
+type Stats struct {
+	// Requests counts every request routed to an endpoint.
+	Requests uint64
+	// Computed counts deterministic cells computed by the engines.
+	Computed uint64
+	// CacheHits counts deterministic cells answered from the store.
+	CacheHits uint64
+	// Errors counts requests answered with an error status.
+	Errors uint64
+}
+
+// Server is the resident attestation service. Create one with New,
+// mount Handler on a listener (or call Serve), and stop it with
+// Shutdown or a /quit request.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// allowed is the /run experiment allowlist in registry order.
+	allowed []string
+
+	engMu    sync.Mutex
+	engines  map[string]*fleet.Engine
+	engOrder []string
+
+	requests  atomic.Uint64
+	computed  atomic.Uint64
+	cacheHits atomic.Uint64
+	errors    atomic.Uint64
+
+	draining atomic.Bool
+	quitOnce sync.Once
+	quitCh   chan struct{}
+
+	hsMu sync.Mutex
+	hs   *http.Server
+}
+
+// New validates the config, fills defaults and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxFleetSize <= 0 {
+		cfg.MaxFleetSize = DefaultMaxFleetSize
+	}
+	if cfg.MaxSweepSizes <= 0 {
+		cfg.MaxSweepSizes = DefaultMaxSweepSizes
+	}
+	if cfg.MaxCampaignSeeds <= 0 {
+		cfg.MaxCampaignSeeds = DefaultMaxCampaignSeeds
+	}
+	if cfg.MaxTopologySize <= 0 {
+		cfg.MaxTopologySize = DefaultMaxTopologySize
+	}
+	if cfg.DefaultSeed == 0 {
+		cfg.DefaultSeed = DefaultSeed
+	}
+	allowed, err := resolveExperiments(cfg.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		allowed: allowed,
+		engines: make(map[string]*fleet.Engine),
+		quitCh:  make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// resolveExperiments validates an experiment allowlist against the
+// registry, preserving registry order. Nil selects every registered
+// experiment.
+func resolveExperiments(names []string) ([]string, error) {
+	if names == nil {
+		return harness.Names(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := harness.Lookup(n); !ok {
+			return nil, fmt.Errorf("service: unknown experiment %q (registry has %s)", n, joinNames(harness.Names()))
+		}
+		want[n] = true
+	}
+	var out []string
+	for _, n := range harness.Names() {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// joinNames renders a name list for error messages.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Handler returns the service's HTTP handler. It can be mounted on
+// any listener — httptest servers included — independent of Serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		Computed:  s.computed.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// Serve answers requests on l until Shutdown (or a /quit request)
+// drains the server, then flushes the store and returns nil. Any
+// other listener failure is returned as-is.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	go func() {
+		<-s.quitCh
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if s.cfg.Store != nil {
+		if serr := s.cfg.Store.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Shutdown begins a graceful drain: new requests are refused with
+// 503, in-flight requests run to completion (bounded by ctx), and the
+// store is flushed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	if s.cfg.Store != nil {
+		if serr := s.cfg.Store.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// beginDrain marks the server draining and wakes the Serve goroutine.
+func (s *Server) beginDrain() {
+	s.draining.Store(true)
+	s.quitOnce.Do(func() { close(s.quitCh) })
+}
+
+// Draining reports whether a shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// requestPool builds the request-scoped worker pool. One pool per
+// request: the engines stay single-threaded-deterministic per shard,
+// and no request's fan-out can starve another's.
+func (s *Server) requestPool() *harness.Pool { return harness.NewPool(s.cfg.Parallel) }
+
+// engine returns the warm compiled engine for (digest, seed),
+// building and caching it on first use. Engines are immutable after
+// construction and safe for concurrent runs, so one warm engine
+// serves any number of concurrent identical requests.
+func (s *Server) engine(digest string, seed int64, build func() (*fleet.Engine, error)) (*fleet.Engine, error) {
+	key := fmt.Sprintf("%s/%d", digest, seed)
+	s.engMu.Lock()
+	if eng, ok := s.engines[key]; ok {
+		s.engMu.Unlock()
+		return eng, nil
+	}
+	s.engMu.Unlock()
+
+	// Build outside the lock: compilation is pure and idempotent, and
+	// a slow compile must not serialize unrelated requests.
+	eng, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if prior, ok := s.engines[key]; ok {
+		return prior, nil
+	}
+	if len(s.engOrder) >= engineCacheCap {
+		oldest := s.engOrder[0]
+		s.engOrder = s.engOrder[1:]
+		delete(s.engines, oldest)
+	}
+	s.engines[key] = eng
+	s.engOrder = append(s.engOrder, key)
+	return eng, nil
+}
+
+// cell answers one deterministic request cell: serve the stored body
+// when the store has the key, otherwise compute, record and serve.
+// The returned bool reports a cache hit. Identical keys always yield
+// byte-identical bodies — fresh or stored.
+func (s *Server) cell(key store.Key, nocache bool, compute func() ([]byte, error)) ([]byte, bool, error) {
+	if s.cfg.Store != nil && !nocache {
+		if rec, ok := s.cfg.Store.Get(key); ok {
+			s.cacheHits.Add(1)
+			return []byte(rec.Body), true, nil
+		}
+	}
+	start := time.Now()
+	body, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	s.computed.Add(1)
+	if s.cfg.Store != nil {
+		rec := store.Record{
+			Experiment: key.Experiment,
+			Seed:       key.Seed,
+			Digest:     key.Digest,
+			Body:       string(body),
+			NsPerOp:    float64(time.Since(start).Nanoseconds()),
+			UnixTime:   time.Now().Unix(),
+		}
+		if err := s.cfg.Store.Append(rec); err != nil {
+			return nil, false, fmt.Errorf("storing result: %w", err)
+		}
+	}
+	return body, false, nil
+}
+
+// sortedCopy returns a sorted copy of names (for deterministic error
+// listings over map-derived sets).
+func sortedCopy(names []string) []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	sort.Strings(out)
+	return out
+}

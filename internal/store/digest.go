@@ -1,0 +1,127 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// DigestLen is the length of a rendered digest in hex characters
+// (half a SHA-256, which is plenty for a config namespace and keeps
+// keys readable in JSONL and curl output).
+const DigestLen = 32
+
+// Digest hashes the canonical encoding of a configuration value and
+// returns it as DigestLen hex characters. The value is marshalled to
+// JSON, re-parsed with literal number preservation, and re-encoded
+// canonically — object keys sorted, numbers kept as their decimal
+// literals — so the hash preimage depends only on the (name, value)
+// content of the configuration, never on Go struct field order,
+// pointer identity or %v formatting. Passing multiple parts hashes
+// their canonical encodings in order, length-prefixed, so
+// Digest(a, b) never collides with Digest(ab).
+func Digest(parts ...any) (string, error) {
+	h := sha256.New()
+	for _, part := range parts {
+		enc, err := Canonical(part)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%d:", len(enc))
+		h.Write(enc)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:DigestLen], nil
+}
+
+// DigestBytes hashes an already-canonical byte encoding (for example
+// fleet.Config.AppendCanonical output) to the same rendered form as
+// Digest. The two namespaces are kept distinct by a leading tag.
+func DigestBytes(enc []byte) string {
+	h := sha256.New()
+	h.Write([]byte("bytes:"))
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))[:DigestLen]
+}
+
+// Canonical returns the canonical JSON encoding of v: the JSON
+// encoding of v with every object's keys sorted and every number kept
+// as the exact literal produced by encoding/json, with no
+// insignificant whitespace.
+func Canonical(v any) ([]byte, error) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("store: canonical encode: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(enc))
+	dec.UseNumber()
+	var parsed any
+	if err := dec.Decode(&parsed); err != nil {
+		return nil, fmt.Errorf("store: canonical re-parse: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, parsed); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeCanonical renders a parsed JSON value with sorted object keys.
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(x.String())
+	case string:
+		enc, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		buf.Write(enc)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(enc)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("store: canonical encoding: unexpected %T", v)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalSortsKeysAndPreservesNumbers(t *testing.T) {
+	got, err := Canonical(map[string]any{
+		"zeta":  1,
+		"alpha": []any{true, nil, "s"},
+		"big":   int64(1 << 62),
+		"frac":  0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":[true,null,"s"],"big":4611686018427387904,"frac":0.25,"zeta":1}`
+	if string(got) != want {
+		t.Fatalf("Canonical =\n %s\nwant\n %s", got, want)
+	}
+}
+
+// TestDigestIgnoresGoFieldOrder: two structs with identical (name,
+// value) content but different Go field order digest identically —
+// the "not Go struct formatting" requirement.
+func TestDigestIgnoresGoFieldOrder(t *testing.T) {
+	type ab struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	type ba struct {
+		B string `json:"b"`
+		A int    `json:"a"`
+	}
+	d1, err := Digest(ab{A: 3, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(ba{A: 3, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("field order changed the digest: %s vs %s", d1, d2)
+	}
+	if len(d1) != DigestLen || strings.Trim(d1, "0123456789abcdef") != "" {
+		t.Fatalf("digest %q is not %d lowercase hex chars", d1, DigestLen)
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	type cfg struct {
+		Size int     `json:"size"`
+		Rate float64 `json:"rate"`
+	}
+	base, _ := Digest(cfg{Size: 1024, Rate: 0.02})
+	size, _ := Digest(cfg{Size: 1025, Rate: 0.02})
+	rate, _ := Digest(cfg{Size: 1024, Rate: 0.021})
+	if base == size || base == rate {
+		t.Fatalf("digest insensitive to config change: %s %s %s", base, size, rate)
+	}
+}
+
+// TestDigestPartsAreLengthPrefixed: splitting the same content across
+// part boundaries differently must change the digest.
+func TestDigestPartsAreLengthPrefixed(t *testing.T) {
+	d1, _ := Digest("ab", "c")
+	d2, _ := Digest("a", "bc")
+	d3, _ := Digest("abc")
+	if d1 == d2 || d1 == d3 || d2 == d3 {
+		t.Fatalf("part boundaries do not separate digests: %s %s %s", d1, d2, d3)
+	}
+}
+
+func TestDigestBytesDistinctFromJSONNamespace(t *testing.T) {
+	db := DigestBytes([]byte(`"x"`))
+	dj, _ := Digest("x")
+	if db == dj {
+		t.Fatal("byte and JSON digest namespaces collide")
+	}
+	if len(db) != DigestLen {
+		t.Fatalf("DigestBytes length %d, want %d", len(db), DigestLen)
+	}
+}
+
+func TestDigestRejectsUnencodable(t *testing.T) {
+	if _, err := Digest(make(chan int)); err == nil {
+		t.Fatal("channel digested")
+	}
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// jsonDecoderUseNumber builds a literal-preserving JSON decoder over
+// data, matching the parser Canonical itself uses.
+func jsonDecoderUseNumber(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec
+}
+
+// FuzzStoreDecode throws arbitrary bytes at the store file format.
+// Whatever the content, Open must never panic; when it succeeds, the
+// surviving store must be fully usable — appendable, reopenable, and
+// stable: a second reopen sees exactly the records the repair pass
+// kept plus the new append.
+func FuzzStoreDecode(f *testing.F) {
+	good, _ := Open(f.TempDir())
+	good.Append(Record{Experiment: "E8", Seed: 7, Digest: "aaaa", Body: "seed body"})
+	good.Append(Record{Experiment: "appraise", Seed: -1, Digest: "bbbb", Body: "two"})
+	good.Close()
+	clean, _ := os.ReadFile(filepath.Join(good.Dir(), FileName))
+
+	f.Add([]byte{})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])                                   // torn tail
+	f.Add(append(append([]byte{}, clean...), []byte(`{"x":`)...)) // torn extra record
+	f.Add([]byte(`{"schema":"cres-store/v1"}` + "\n"))            // keyless
+	f.Add([]byte(`{"schema":"cres-store/v9","experiment":"E8","config_digest":"aa"}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, FileName), data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(dir)
+		if err != nil {
+			return // refused: fine, as long as it never panics
+		}
+		kept := s.Len()
+		rec := Record{Experiment: "fuzz", Seed: 3, Digest: "ffff", Body: "appended"}
+		if err := s.Append(rec); err != nil {
+			t.Fatalf("append to opened store failed: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen after repair+append failed: %v", err)
+		}
+		defer s2.Close()
+		if s2.Len() != kept+1 {
+			t.Fatalf("reopen kept %d records, want %d", s2.Len(), kept+1)
+		}
+		got, ok := s2.Get(rec.Key())
+		if !ok || got.Body != rec.Body {
+			t.Fatalf("appended record lost: %+v %v", got, ok)
+		}
+	})
+}
+
+// FuzzCanonical: canonical encoding must be total over anything the
+// JSON decoder can produce, and idempotent — canonicalizing a
+// canonical encoding yields the same bytes.
+func FuzzCanonical(f *testing.F) {
+	f.Add([]byte(`{"b":1,"a":[true,null,"x"],"c":{"z":0.5,"y":9223372036854775807}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`"plain"`))
+	f.Add([]byte(`-0.0001e10`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v any
+		dec := jsonDecoderUseNumber(data)
+		if err := dec.Decode(&v); err != nil {
+			t.Skip()
+		}
+		c1, err := Canonical(v)
+		if err != nil {
+			t.Skip() // e.g. NaN-bearing values the encoder refuses
+		}
+		var v2 any
+		if err := jsonDecoderUseNumber(c1).Decode(&v2); err != nil {
+			t.Fatalf("canonical output is not valid JSON: %q: %v", c1, err)
+		}
+		c2, err := Canonical(v2)
+		if err != nil {
+			t.Fatalf("re-canonicalize failed: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical not idempotent:\n %q\n %q", c1, c2)
+		}
+	})
+}
